@@ -1,0 +1,216 @@
+package cuckootrie_test
+
+// One testing.B benchmark per paper table/figure (deliverable d). The
+// figure benchmarks emit the paper-style rows once per run via the bench
+// harness (they are report generators, sized down so `go test -bench=.`
+// completes in minutes); the micro-benchmarks below give per-op numbers for
+// the hot paths. Scale up with cmd/ctbench for closer-to-paper runs.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	cuckootrie "repro"
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/keys"
+)
+
+// benchOpts sizes the figure regeneration so a full `go test -bench=.` run
+// finishes in minutes; scale up with cmd/ctbench for closer-to-paper runs.
+func benchOpts() bench.Options {
+	return bench.Options{Keys: 30_000, Ops: 30_000, Threads: 2, Seed: 1}
+}
+
+func runFigure(b *testing.B, fn func(o bench.Options)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fn(benchOpts())
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Table1(os.Stdout, o) })
+}
+
+func BenchmarkFig2LatencyBreakdown(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig2(os.Stdout, o) })
+}
+
+func BenchmarkFig6Scalability(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig6(os.Stdout, o) })
+}
+
+func BenchmarkFig7SingleThread(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig7(os.Stdout, o) })
+}
+
+func BenchmarkFig8MultiThread(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig8(os.Stdout, o) })
+}
+
+func BenchmarkFig9SizeScaling(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig9(os.Stdout, o) })
+}
+
+func BenchmarkFig10Scans(b *testing.B) {
+	o := benchOpts()
+	o.Ops = 10_000
+	runFigure(b, func(bench.Options) { bench.Fig10(os.Stdout, o) })
+}
+
+func BenchmarkFig11Memory(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig11(os.Stdout, o) })
+}
+
+func BenchmarkFig12MlpIndex(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Fig12(os.Stdout, o) })
+}
+
+func BenchmarkFig13Redis(b *testing.B) {
+	o := benchOpts()
+	o.Keys = 10_000
+	o.Ops = 10_000
+	runFigure(b, func(bench.Options) { bench.Fig13(os.Stdout, o) })
+}
+
+func BenchmarkTable3Bandwidth(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Table3(os.Stdout, o) })
+}
+
+func BenchmarkAblations(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.Ablation(os.Stdout, o) })
+}
+
+// --- micro-benchmarks on the Cuckoo Trie hot paths ---
+
+func newLoadedTrie(n int) (*cuckootrie.Trie, [][]byte) {
+	ks := dataset.Generate(dataset.Rand8, n, 3)
+	t := cuckootrie.New(cuckootrie.Config{CapacityHint: n, AutoResize: true})
+	for i, k := range ks {
+		if err := t.Set(k, uint64(i)); err != nil {
+			panic(err)
+		}
+	}
+	return t, ks
+}
+
+func BenchmarkTrieGet(b *testing.B) {
+	t, ks := newLoadedTrie(1 << 18)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Get(ks[rng.Intn(len(ks))]); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		b.Fatal("no hits")
+	}
+}
+
+func BenchmarkTrieGetParallel(b *testing.B) {
+	t, ks := newLoadedTrie(1 << 18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			t.Get(ks[rng.Intn(len(ks))])
+		}
+	})
+}
+
+func BenchmarkTrieSet(b *testing.B) {
+	ks := dataset.Generate(dataset.Rand8, 1<<18, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t *cuckootrie.Trie
+	for i := 0; i < b.N; i++ {
+		if i%len(ks) == 0 {
+			b.StopTimer()
+			t = cuckootrie.New(cuckootrie.Config{CapacityHint: len(ks), AutoResize: true})
+			b.StartTimer()
+		}
+		if err := t.Set(ks[i%len(ks)], uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrieDelete(b *testing.B) {
+	ks := dataset.Generate(dataset.Rand8, 1<<17, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(ks) {
+		b.StopTimer()
+		t, _ := func() (*cuckootrie.Trie, [][]byte) {
+			t := cuckootrie.New(cuckootrie.Config{CapacityHint: len(ks), AutoResize: true})
+			for j, k := range ks {
+				t.Set(k, uint64(j))
+			}
+			return t, ks
+		}()
+		b.StartTimer()
+		for j := 0; j < len(ks) && i+j < b.N; j++ {
+			t.Delete(ks[j])
+		}
+	}
+}
+
+func BenchmarkTrieScan100(b *testing.B) {
+	t, ks := newLoadedTrie(1 << 17)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		t.Scan(ks[rng.Intn(len(ks))], 100, func(k []byte, v uint64) bool {
+			sink += v
+			return true
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkTrieSeek(b *testing.B) {
+	t, ks := newLoadedTrie(1 << 17)
+	rng := rand.New(rand.NewSource(6))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := t.Seek(ks[rng.Intn(len(ks))])
+		if err != nil || !it.Valid() {
+			b.Fatal("seek failed")
+		}
+	}
+}
+
+func BenchmarkSymbolHashPath(b *testing.B) {
+	// Cost of expanding a 16-byte key to symbols (the per-lookup setup).
+	k := []byte("sixteen-byte-key")
+	var buf [64]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = keys.AppendSymbols(buf[:0], k)
+	}
+}
+
+func ExampleTrie() {
+	t := cuckootrie.New(cuckootrie.Config{CapacityHint: 16})
+	t.Set([]byte("b"), 2)
+	t.Set([]byte("a"), 1)
+	t.Scan(nil, 10, func(k []byte, v uint64) bool {
+		fmt.Printf("%s=%d\n", k, v)
+		return true
+	})
+	// Output:
+	// a=1
+	// b=2
+}

@@ -1,0 +1,55 @@
+// Command ctredis serves the mini-Redis store with a selectable sorted-set
+// engine (paper §6.8). Try it with redis-cli:
+//
+//	ctredis -addr :6380 -engine CuckooTrie
+//	redis-cli -p 6380 ZADD s hello 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	cuckootrie "repro"
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/hot"
+	"repro/internal/index"
+	"repro/internal/miniredis"
+	"repro/internal/skiplist"
+	"repro/internal/wormhole"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	engine := flag.String("engine", "CuckooTrie", "sorted-set engine: CuckooTrie|ARTOLC|HOT|Wormhole|STX|SkipList")
+	capacity := flag.Int("capacity", 1<<20, "expected keys per sorted set")
+	flag.Parse()
+
+	factories := map[string]miniredis.EngineFactory{
+		"CuckooTrie": func(c int) index.Index {
+			return cuckootrie.New(cuckootrie.Config{CapacityHint: c, AutoResize: true})
+		},
+		"ARTOLC":   func(c int) index.Index { return art.New() },
+		"HOT":      func(c int) index.Index { return hot.New() },
+		"Wormhole": func(c int) index.Index { return wormhole.New() },
+		"STX":      func(c int) index.Index { return btree.New() },
+		"SkipList": func(c int) index.Index { return skiplist.New(7) },
+	}
+	f, ok := factories[*engine]
+	if !ok {
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	srv := miniredis.NewServer(f, *capacity, true)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ctredis listening on %s (engine: %s)\n", bound, *engine)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

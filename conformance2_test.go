@@ -1,0 +1,24 @@
+package cuckootrie_test
+
+import (
+	"testing"
+
+	"repro/internal/hot"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/mlpindex"
+	"repro/internal/wormhole"
+)
+
+func TestConformanceWormhole(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return wormhole.New() }, indextest.Options{})
+}
+
+func TestConformanceHOT(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return hot.New() }, indextest.Options{})
+}
+
+func TestConformanceMlpIndex(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return mlpindex.New(capacity) },
+		indextest.Options{FixedKeyLen: 8, NoScan: true, NoDelete: true})
+}

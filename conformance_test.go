@@ -1,0 +1,33 @@
+package cuckootrie_test
+
+import (
+	"testing"
+
+	cuckootrie "repro"
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/skiplist"
+)
+
+// The shared conformance suite runs against the Cuckoo Trie and every
+// baseline so the benchmark comparisons are apples-to-apples.
+
+func TestConformanceCuckooTrie(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index {
+		return cuckootrie.New(cuckootrie.Config{CapacityHint: capacity, AutoResize: true})
+	}, indextest.Options{})
+}
+
+func TestConformanceART(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return art.New() }, indextest.Options{})
+}
+
+func TestConformanceBTree(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return btree.New() }, indextest.Options{})
+}
+
+func TestConformanceSkipList(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return skiplist.New(1) }, indextest.Options{})
+}

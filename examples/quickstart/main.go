@@ -1,0 +1,45 @@
+// Quickstart: the Cuckoo Trie as an ordered map — point operations, ordered
+// iteration, predecessor/successor queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cuckootrie "repro"
+)
+
+func main() {
+	t := cuckootrie.New(cuckootrie.Config{CapacityHint: 1024, AutoResize: true})
+
+	// Point operations.
+	for i, word := range []string{"banana", "apple", "cherry", "date", "apricot"} {
+		if err := t.Set([]byte(word), uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if v, ok := t.Get([]byte("cherry")); ok {
+		fmt.Println("cherry =", v)
+	}
+	t.Delete([]byte("date"))
+
+	// Ordered iteration from a seek point.
+	it, err := t.Seek([]byte("app"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("keys >= \"app\":")
+	for it.Valid() {
+		fmt.Printf("  %s = %d\n", it.Key(), it.Value())
+		it.Next()
+	}
+
+	// Predecessor / successor queries.
+	if k, _, ok := t.Predecessor([]byte("bz")); ok {
+		fmt.Printf("predecessor of \"bz\": %s\n", k)
+	}
+	if k, _, ok := t.Successor([]byte("bz")); ok {
+		fmt.Printf("successor of \"bz\": %s\n", k)
+	}
+	fmt.Println("total keys:", t.Len())
+}

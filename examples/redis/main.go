@@ -1,0 +1,47 @@
+// Redis example: start an in-process mini-Redis server backed by the Cuckoo
+// Trie, and talk to it over loopback TCP with the RESP client — the paper's
+// full-system setting (§6.8) in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cuckootrie "repro"
+	"repro/internal/index"
+	"repro/internal/miniredis"
+)
+
+func main() {
+	srv := miniredis.NewServer(func(c int) index.Index {
+		return cuckootrie.New(cuckootrie.Config{CapacityHint: c, AutoResize: true})
+	}, 1024, true)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("server on", addr)
+
+	cl, err := miniredis.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	for _, user := range []string{"carol", "alice", "dave", "bob"} {
+		if _, err := cl.Do([]byte("ZADD"), []byte("users"), []byte(user), []byte("1")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	score, _ := cl.Do([]byte("ZSCORE"), []byte("users"), []byte("alice"))
+	fmt.Printf("ZSCORE alice = %s\n", score)
+
+	members, _ := cl.Do([]byte("ZRANGEBYLEX"), []byte("users"), []byte("b"), []byte("10"))
+	fmt.Println("ZRANGEBYLEX from \"b\":")
+	for _, m := range members.([]interface{}) {
+		fmt.Printf("  %s\n", m)
+	}
+	size, _ := cl.Do([]byte("DBSIZE"))
+	fmt.Println("DBSIZE =", size)
+}

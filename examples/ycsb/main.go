@@ -1,0 +1,29 @@
+// YCSB example: run the paper's workload mixes against the Cuckoo Trie and
+// print throughput — a miniature of Figure 7's evaluation loop.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cuckootrie "repro"
+	"repro/internal/dataset"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	const n = 100_000
+	keys := dataset.Generate(dataset.Rand8, n, 1)
+	for _, wl := range []ycsb.Workload{ycsb.A, ycsb.B, ycsb.C, ycsb.F} {
+		t := cuckootrie.New(cuckootrie.Config{CapacityHint: n, AutoResize: true})
+		for i, k := range keys {
+			t.Set(k, uint64(i))
+		}
+		g := ycsb.NewGenerator(wl, ycsb.Uniform, keys, n, 42)
+		start := time.Now()
+		done := g.Run(t, n)
+		d := time.Since(start)
+		fmt.Printf("YCSB-%s: %d ops in %v (%.2f Mops/s)\n",
+			wl, done, d.Round(time.Millisecond), float64(done)/d.Seconds()/1e6)
+	}
+}

@@ -1,0 +1,265 @@
+// Package art implements the Adaptive Radix Tree (Leis et al., ICDE'13)
+// with optimistic lock coupling (Leis et al., DaMoN'16) — the paper's
+// "ARTOLC" baseline (§6.1). Inner nodes adapt among 4/16/48/256-way
+// layouts; single-child chains are path-compressed into node prefixes.
+//
+// Readers are lock-free: they validate per-node versions after every racy
+// read (the OLC protocol). To stay race-detector-clean in Go, all fields a
+// reader may touch are accessed through atomics: child pointers, packed key
+// bytes, prefixes (replaced wholesale behind an atomic pointer), and child
+// counts.
+package art
+
+import "sync/atomic"
+
+// node kinds
+const (
+	kind4 = iota
+	kind16
+	kind48
+	kind256
+	kindLeaf
+)
+
+// version word: bit 0 = locked, bit 1 = obsolete, rest = counter.
+const (
+	vLocked   = 1
+	vObsolete = 2
+)
+
+type node struct {
+	version atomic.Uint64
+	kind    uint8
+
+	// Inner-node fields.
+	prefix   atomic.Pointer[[]byte]
+	leafHere atomic.Pointer[node] // leaf whose key ends exactly at this node
+	num      atomic.Int32
+	keyWords [2]uint64   // kind4/16: packed child key bytes (atomic)
+	idx      *[32]uint64 // kind48: 256-byte child index (0=empty, else slot+1)
+	children []atomic.Pointer[node]
+
+	// Leaf fields (kindLeaf).
+	key []byte
+	val atomic.Uint64
+}
+
+func newInner(kind uint8, prefix []byte) *node {
+	n := &node{kind: kind}
+	p := append([]byte(nil), prefix...)
+	n.prefix.Store(&p)
+	switch kind {
+	case kind4:
+		n.children = make([]atomic.Pointer[node], 4)
+	case kind16:
+		n.children = make([]atomic.Pointer[node], 16)
+	case kind48:
+		n.children = make([]atomic.Pointer[node], 48)
+		n.idx = new([32]uint64)
+	case kind256:
+		n.children = make([]atomic.Pointer[node], 256)
+	}
+	return n
+}
+
+func newLeaf(key []byte, val uint64) *node {
+	l := &node{kind: kindLeaf, key: append([]byte(nil), key...)}
+	l.val.Store(val)
+	return l
+}
+
+// --- OLC primitives ---
+
+func (n *node) rVersion() (uint64, bool) {
+	for spin := 0; spin < 4096; spin++ {
+		v := n.version.Load()
+		if v&vLocked == 0 {
+			return v, v&vObsolete == 0
+		}
+	}
+	return 0, false
+}
+
+func (n *node) check(v uint64) bool { return n.version.Load() == v }
+
+func (n *node) upgrade(v uint64) bool {
+	return n.version.CompareAndSwap(v, v|vLocked)
+}
+
+func (n *node) unlock()         { n.version.Add(4 - vLocked) }
+func (n *node) unlockObsolete() { n.version.Add(4 - vLocked + vObsolete) }
+
+// --- packed key-byte helpers (kind4/16) ---
+
+func (n *node) keyAt(i int) byte {
+	w := atomic.LoadUint64(&n.keyWords[i>>3])
+	return byte(w >> (uint(i&7) * 8))
+}
+
+func (n *node) setKeyAt(i int, b byte) {
+	w := atomic.LoadUint64(&n.keyWords[i>>3])
+	sh := uint(i&7) * 8
+	w = w&^(0xff<<sh) | uint64(b)<<sh
+	atomic.StoreUint64(&n.keyWords[i>>3], w)
+}
+
+// --- child access (readers must validate the version afterwards) ---
+
+func (n *node) findChild(b byte) *node {
+	switch n.kind {
+	case kind4, kind16:
+		num := int(n.num.Load())
+		for i := 0; i < num && i < len(n.children); i++ {
+			if n.keyAt(i) == b {
+				return n.children[i].Load()
+			}
+		}
+	case kind48:
+		w := atomic.LoadUint64(&n.idx[b>>3])
+		slot := byte(w >> (uint(b&7) * 8))
+		if slot != 0 {
+			return n.children[slot-1].Load()
+		}
+	case kind256:
+		return n.children[b].Load()
+	}
+	return nil
+}
+
+// addChild inserts under lock. Caller guarantees space.
+func (n *node) addChild(b byte, c *node) {
+	switch n.kind {
+	case kind4, kind16:
+		i := int(n.num.Load())
+		n.children[i].Store(c)
+		n.setKeyAt(i, b)
+		n.num.Add(1)
+	case kind48:
+		// Slots can have holes after removals: find a free one.
+		i := -1
+		for s := range n.children {
+			if n.children[s].Load() == nil {
+				i = s
+				break
+			}
+		}
+		n.children[i].Store(c)
+		w := atomic.LoadUint64(&n.idx[b>>3])
+		sh := uint(b&7) * 8
+		w = w&^(0xff<<sh) | uint64(i+1)<<sh
+		atomic.StoreUint64(&n.idx[b>>3], w)
+		n.num.Add(1)
+	case kind256:
+		n.children[b].Store(c)
+		n.num.Add(1)
+	}
+}
+
+func (n *node) full() bool {
+	switch n.kind {
+	case kind4:
+		return n.num.Load() >= 4
+	case kind16:
+		return n.num.Load() >= 16
+	case kind48:
+		return n.num.Load() >= 48
+	}
+	return false
+}
+
+// grown returns a copy of n with the next larger kind.
+func (n *node) grown() *node {
+	var g *node
+	switch n.kind {
+	case kind4:
+		g = newInner(kind16, *n.prefix.Load())
+	case kind16:
+		g = newInner(kind48, *n.prefix.Load())
+	case kind48:
+		g = newInner(kind256, *n.prefix.Load())
+	default:
+		panic("art: grow of node256")
+	}
+	g.leafHere.Store(n.leafHere.Load())
+	n.forEachChild(func(b byte, c *node) { g.addChild(b, c) })
+	return g
+}
+
+// forEachChild visits children in ascending key-byte order. Caller must hold
+// the lock or tolerate races.
+func (n *node) forEachChild(fn func(b byte, c *node)) {
+	switch n.kind {
+	case kind4, kind16:
+		num := int(n.num.Load())
+		type kv struct {
+			b byte
+			c *node
+		}
+		var tmp [16]kv
+		cnt := 0
+		for i := 0; i < num; i++ {
+			c := n.children[i].Load()
+			if c != nil {
+				tmp[cnt] = kv{n.keyAt(i), c}
+				cnt++
+			}
+		}
+		for i := 1; i < cnt; i++ {
+			for j := i; j > 0 && tmp[j-1].b > tmp[j].b; j-- {
+				tmp[j-1], tmp[j] = tmp[j], tmp[j-1]
+			}
+		}
+		for i := 0; i < cnt; i++ {
+			fn(tmp[i].b, tmp[i].c)
+		}
+	case kind48:
+		for b := 0; b < 256; b++ {
+			w := atomic.LoadUint64(&n.idx[b>>3])
+			slot := byte(w >> (uint(b&7) * 8))
+			if slot != 0 {
+				if c := n.children[slot-1].Load(); c != nil {
+					fn(byte(b), c)
+				}
+			}
+		}
+	case kind256:
+		for b := 0; b < 256; b++ {
+			if c := n.children[b].Load(); c != nil {
+				fn(byte(b), c)
+			}
+		}
+	}
+}
+
+// removeChild removes the entry for byte b under lock.
+func (n *node) removeChild(b byte) {
+	switch n.kind {
+	case kind4, kind16:
+		num := int(n.num.Load())
+		for i := 0; i < num; i++ {
+			if n.keyAt(i) == b {
+				last := num - 1
+				n.children[i].Store(n.children[last].Load())
+				n.setKeyAt(i, n.keyAt(last))
+				n.children[last].Store(nil)
+				n.num.Add(-1)
+				return
+			}
+		}
+	case kind48:
+		w := atomic.LoadUint64(&n.idx[b>>3])
+		sh := uint(b&7) * 8
+		slot := byte(w >> sh)
+		if slot == 0 {
+			return
+		}
+		n.children[slot-1].Store(nil)
+		atomic.StoreUint64(&n.idx[b>>3], w&^(0xff<<sh))
+		n.num.Add(-1)
+	case kind256:
+		if n.children[b].Load() != nil {
+			n.children[b].Store(nil)
+			n.num.Add(-1)
+		}
+	}
+}

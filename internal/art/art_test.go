@@ -1,0 +1,209 @@
+package art
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestBasic(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("empty tree found key")
+	}
+	keys := []string{"a", "ab", "abc", "b", "ba", "hello", "hell", "help", "", "zzzz"}
+	for i, k := range keys {
+		if err := tr.Set([]byte(k), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get([]byte(k)); !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, v, ok, i)
+		}
+	}
+	if _, ok := tr.Get([]byte("he")); ok {
+		t.Fatal("found absent key")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Set([]byte("hello"), 99)
+	if v, _ := tr.Get([]byte("hello")); v != 99 {
+		t.Fatal("update failed")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatal("update changed Len")
+	}
+}
+
+func TestNodeGrowth(t *testing.T) {
+	// Fan a single node through 4 → 16 → 48 → 256.
+	tr := New()
+	for i := 0; i < 256; i++ {
+		k := []byte{'p', byte(i)}
+		if err := tr.Set(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		if v, ok := tr.Get([]byte{'p', byte(i)}); !ok || v != uint64(i) {
+			t.Fatalf("Get(p%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRandomModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	model := map[string]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := make([]byte, 1+rng.Intn(20))
+		rng.Read(k)
+		model[string(k)] = uint64(i)
+		tr.Set(k, uint64(i))
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(model))
+	}
+	for k, v := range model {
+		if got, ok := tr.Get([]byte(k)); !ok || got != v {
+			t.Fatalf("Get(%x) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Full ordered scan equals the sorted model.
+	var want []string
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Scan(nil, 1<<30, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan yielded %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i*2))
+		tr.Set(k[:], uint64(i*2))
+	}
+	var got []uint64
+	start := make([]byte, 8)
+	binary.BigEndian.PutUint64(start, 31)
+	tr.Scan(start, 5, func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []uint64{32, 34, 36, 38, 40}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		tr.Set(k[:], uint64(i))
+	}
+	for i := 0; i < 1000; i += 2 {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		if !tr.Delete(k[:]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		_, ok := tr.Get(k[:])
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) = %v", i, ok)
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	workers := 8
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				var k [8]byte
+				binary.BigEndian.PutUint64(k[:], uint64(w)<<40|uint64(rng.Int63n(1<<32)))
+				tr.Set(k[:], uint64(w))
+				tr.Get(k[:])
+			}
+		}(w)
+	}
+	// Concurrent scanners.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 20; r++ {
+			var prev []byte
+			tr.Scan(nil, 100000, func(k []byte, v uint64) bool {
+				if prev != nil && bytes.Compare(prev, k) >= 0 {
+					t.Errorf("scan out of order")
+					return false
+				}
+				prev = append(prev[:0], k...)
+				return true
+			})
+		}
+	}()
+	wg.Wait()
+	// Verify all keys.
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < per; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], uint64(w)<<40|uint64(rng.Int63n(1<<32)))
+			if _, ok := tr.Get(k[:]); !ok {
+				t.Fatalf("worker %d key missing", w)
+			}
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], rand.Uint64())
+		tr.Set(k[:], 1)
+	}
+	m := tr.MemoryOverheadBytes()
+	perKey := float64(m) / float64(tr.Len())
+	if perKey < 8 || perKey > 500 {
+		t.Fatalf("implausible bytes/key: %.1f", perKey)
+	}
+}

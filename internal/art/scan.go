@@ -1,0 +1,194 @@
+package art
+
+import "bytes"
+
+// Range scans walk the radix tree in key order with optimistic validation:
+// any version conflict restarts the scan at the last emitted key. Like the
+// paper's indexes, scans are not atomic with concurrent writers (§5).
+
+type scanStatus int
+
+const (
+	scanOK scanStatus = iota
+	scanStop
+	scanRetry
+)
+
+// Scan visits up to limit keys ≥ start in ascending order.
+func (t *Tree) Scan(start []byte, limit int, fn func(key []byte, value uint64) bool) int {
+	if limit <= 0 {
+		return 0
+	}
+	visited := 0
+	bound := append([]byte(nil), start...)
+	strict := false
+	for visited < limit {
+		emitted := 0
+		status := t.scanOnce(bound, strict, limit-visited, &emitted, func(k []byte, v uint64) bool {
+			bound = append(bound[:0], k...)
+			return fn(k, v)
+		})
+		visited += emitted
+		switch status {
+		case scanRetry:
+			strict = emitted > 0 || strict
+			continue
+		case scanStop:
+			return visited
+		case scanOK:
+			if emitted == 0 {
+				return visited
+			}
+			strict = true
+		}
+	}
+	return visited
+}
+
+func (t *Tree) scanOnce(bound []byte, strict bool, limit int, emitted *int, fn func([]byte, uint64) bool) scanStatus {
+	v, ok := t.root.rVersion()
+	if !ok {
+		return scanRetry
+	}
+	return t.scanNode(t.root, v, 0, bound, strict, true, limit, emitted, fn)
+}
+
+// scanNode emits the subtree's keys in order. constrained indicates the
+// lower bound can still cut into this subtree; once a branch byte exceeds
+// the bound, descendants are emitted unconditionally.
+func (t *Tree) scanNode(n *node, v uint64, depth int, bound []byte, strict bool,
+	constrained bool, limit int, emitted *int, fn func([]byte, uint64) bool) scanStatus {
+
+	prefix := *n.prefix.Load()
+	if constrained && len(prefix) > 0 {
+		rest := bound[depth:]
+		m := len(prefix)
+		if len(rest) < m {
+			m = len(rest)
+		}
+		switch bytes.Compare(prefix[:m], rest[:m]) {
+		case -1:
+			if !n.check(v) {
+				return scanRetry
+			}
+			return scanOK // whole subtree below the bound
+		case 1:
+			constrained = false // whole subtree above the bound
+		default:
+			if len(rest) <= len(prefix) {
+				constrained = false
+				if len(rest) < len(prefix) {
+					// bound is a proper prefix: everything here is larger
+					// except possibly an exact-equality leaf handled below.
+				}
+			}
+		}
+	}
+	depth += len(prefix)
+
+	// Leaf terminating at this node: smallest key in the subtree.
+	if l := n.leafHere.Load(); l != nil {
+		key, val := l.key, l.val.Load()
+		if !n.check(v) {
+			return scanRetry
+		}
+		if admit(key, bound, strict, constrained) {
+			*emitted++
+			if !fn(key, val) {
+				return scanStop
+			}
+			if *emitted >= limit {
+				return scanStop
+			}
+		}
+	}
+
+	var boundByte int = -1
+	if constrained && depth < len(bound) {
+		boundByte = int(bound[depth])
+	}
+
+	type kv struct {
+		b byte
+		c *node
+	}
+	var kids []kv
+	n.forEachChild(func(b byte, c *node) { kids = append(kids, kv{b, c}) })
+	if !n.check(v) {
+		return scanRetry
+	}
+	for _, k := range kids {
+		if boundByte >= 0 && int(k.b) < boundByte {
+			continue
+		}
+		childConstrained := constrained && int(k.b) == boundByte
+		c := k.c
+		if c.kind == kindLeaf {
+			key, val := c.key, c.val.Load()
+			if !n.check(v) {
+				return scanRetry
+			}
+			if admit(key, bound, strict, childConstrained) {
+				*emitted++
+				if !fn(key, val) {
+					return scanStop
+				}
+				if *emitted >= limit {
+					return scanStop
+				}
+			}
+			continue
+		}
+		cv, cok := c.rVersion()
+		if !cok || !n.check(v) {
+			return scanRetry
+		}
+		if st := t.scanNode(c, cv, depth+1, bound, strict, childConstrained, limit, emitted, fn); st != scanOK {
+			return st
+		}
+	}
+	return scanOK
+}
+
+// admit decides whether key passes the lower bound.
+func admit(key, bound []byte, strict, constrained bool) bool {
+	if !constrained {
+		if strict {
+			return bytes.Compare(key, bound) > 0
+		}
+		return bytes.Compare(key, bound) >= 0
+	}
+	c := bytes.Compare(key, bound)
+	if strict {
+		return c > 0
+	}
+	return c >= 0
+}
+
+// MemoryOverheadBytes counts node structures, child arrays, prefixes, and
+// per-leaf bookkeeping (key header + value), excluding key bytes (§6.5).
+func (t *Tree) MemoryOverheadBytes() int64 {
+	var total int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.kind == kindLeaf {
+			total += 64 // leaf node struct: headers + value word
+			return
+		}
+		total += 96 // inner node fixed fields
+		total += int64(cap(*n.prefix.Load()))
+		total += int64(len(n.children)) * 8
+		if n.idx != nil {
+			total += 256
+		}
+		if l := n.leafHere.Load(); l != nil {
+			walk(l)
+		}
+		n.forEachChild(func(b byte, c *node) { walk(c) })
+	}
+	walk(t.root)
+	return total
+}

@@ -1,0 +1,54 @@
+package art
+
+import (
+	"bytes"
+	"reflect"
+)
+
+// LookupLevels returns the cache lines a lookup touches, one slice per tree
+// level — serial pointer chasing: each level's address comes from the
+// previous level (§3.2). Node addresses are the Go pointers themselves, so
+// the simulator's LRU cache sees the real sharing of hot top levels. Wide
+// nodes span multiple lines; the lines of one node can overlap.
+func (t *Tree) LookupLevels(key []byte) [][]uint64 {
+	var levels [][]uint64
+	n := t.root
+	depth := 0
+	for n != nil {
+		addr := uint64(reflect.ValueOf(n).Pointer())
+		lines := []uint64{addr / 64}
+		switch n.kind {
+		case kind16:
+			lines = append(lines, addr/64+1)
+		case kind48:
+			lines = append(lines, addr/64+1, addr/64+2)
+		case kind256:
+			// 256 pointers = 32 lines; a lookup touches the header + the
+			// child slot's line.
+			lines = append(lines, addr/64+1+uint64(0))
+			if depth < len(key) {
+				lines = append(lines, addr/64+2+uint64(key[depth])/8)
+			}
+		case kindLeaf:
+			levels = append(levels, []uint64{addr / 64})
+			return levels
+		}
+		levels = append(levels, lines)
+		prefix := *n.prefix.Load()
+		if len(prefix) > 0 {
+			if len(key)-depth < len(prefix) || !bytes.Equal(key[depth:depth+len(prefix)], prefix) {
+				return levels
+			}
+			depth += len(prefix)
+		}
+		if depth >= len(key) {
+			if l := n.leafHere.Load(); l != nil {
+				levels = append(levels, []uint64{uint64(reflect.ValueOf(l).Pointer()) / 64})
+			}
+			return levels
+		}
+		n = n.findChild(key[depth])
+		depth++
+	}
+	return levels
+}

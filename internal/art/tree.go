@@ -1,0 +1,322 @@
+package art
+
+import (
+	"bytes"
+	"sync/atomic"
+)
+
+// Tree is a concurrently-usable adaptive radix tree (ARTOLC).
+type Tree struct {
+	root *node // fixed kind256 root: never replaced, simplifying OLC
+	size atomic.Int64
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{root: newInner(kind256, nil)}
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "ARTOLC" }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// ConcurrentSafe implements index.Concurrent.
+func (t *Tree) ConcurrentSafe() bool { return true }
+
+// commonPrefix returns the length of the longest common prefix of a and b.
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+restart:
+	n := t.root
+	v, ok := n.rVersion()
+	if !ok {
+		goto restart
+	}
+	depth := 0
+	for {
+		prefix := *n.prefix.Load()
+		if len(prefix) > 0 {
+			if len(key)-depth < len(prefix) || !bytes.Equal(key[depth:depth+len(prefix)], prefix) {
+				if !n.check(v) {
+					goto restart
+				}
+				return 0, false
+			}
+			depth += len(prefix)
+		}
+		if depth == len(key) {
+			l := n.leafHere.Load()
+			if !n.check(v) {
+				goto restart
+			}
+			if l == nil {
+				return 0, false
+			}
+			return l.val.Load(), true
+		}
+		b := key[depth]
+		child := n.findChild(b)
+		if !n.check(v) {
+			goto restart
+		}
+		if child == nil {
+			return 0, false
+		}
+		if child.kind == kindLeaf {
+			val := child.val.Load()
+			match := bytes.Equal(child.key, key)
+			if !n.check(v) {
+				goto restart
+			}
+			if !match {
+				return 0, false
+			}
+			return val, true
+		}
+		cv, cok := child.rVersion()
+		if !cok || !n.check(v) {
+			goto restart
+		}
+		n, v = child, cv
+		depth++
+	}
+}
+
+// Set inserts or updates key.
+func (t *Tree) Set(key []byte, value uint64) error {
+restart:
+	var parent *node
+	var pv uint64
+	var pb byte
+	n := t.root
+	v, ok := n.rVersion()
+	if !ok {
+		goto restart
+	}
+	depth := 0
+	for {
+		prefix := *n.prefix.Load()
+		cpl := commonPrefix(prefix, key[depth:])
+		if cpl < len(prefix) {
+			// Split the prefix: a new node4 holds the common part, with the
+			// old node (suffix prefix) and the new branch below it.
+			if parent == nil {
+				goto restart // root has an empty prefix; cannot happen
+			}
+			if !parent.upgrade(pv) {
+				goto restart
+			}
+			if !n.upgrade(v) {
+				parent.unlock()
+				goto restart
+			}
+			nn := newInner(kind4, prefix[:cpl])
+			suffix := append([]byte(nil), prefix[cpl+1:]...)
+			branchByte := prefix[cpl]
+			nn.addChild(branchByte, n)
+			if depth+cpl == len(key) {
+				nn.leafHere.Store(newLeaf(key, value))
+			} else {
+				nn.addChild(key[depth+cpl], newLeaf(key, value))
+			}
+			n.prefix.Store(&suffix)
+			parent.swapChild(pb, nn)
+			n.unlock()
+			parent.unlock()
+			t.size.Add(1)
+			return nil
+		}
+		depth += cpl
+		if depth == len(key) {
+			// Key terminates at this node.
+			if !n.upgrade(v) {
+				goto restart
+			}
+			if l := n.leafHere.Load(); l != nil {
+				l.val.Store(value)
+				n.unlock()
+				return nil
+			}
+			n.leafHere.Store(newLeaf(key, value))
+			n.unlock()
+			t.size.Add(1)
+			return nil
+		}
+		b := key[depth]
+		child := n.findChild(b)
+		if !n.check(v) {
+			goto restart
+		}
+		if child == nil {
+			if n.full() {
+				// Grow: replace n in its parent with a larger copy.
+				if parent == nil {
+					goto restart // root is kind256, never full
+				}
+				if !parent.upgrade(pv) {
+					goto restart
+				}
+				if !n.upgrade(v) {
+					parent.unlock()
+					goto restart
+				}
+				g := n.grown()
+				g.addChild(b, newLeaf(key, value))
+				parent.swapChild(pb, g)
+				n.unlockObsolete()
+				parent.unlock()
+				t.size.Add(1)
+				return nil
+			}
+			if !n.upgrade(v) {
+				goto restart
+			}
+			if c2 := n.findChild(b); c2 != nil {
+				n.unlock()
+				goto restart
+			}
+			n.addChild(b, newLeaf(key, value))
+			n.unlock()
+			t.size.Add(1)
+			return nil
+		}
+		if child.kind == kindLeaf {
+			if !n.upgrade(v) {
+				goto restart
+			}
+			if bytes.Equal(child.key, key) {
+				child.val.Store(value)
+				n.unlock()
+				return nil
+			}
+			// Replace the leaf with an inner node holding both keys.
+			lk := child.key
+			cp := commonPrefix(lk[depth+1:], key[depth+1:])
+			nn := newInner(kind4, key[depth+1:depth+1+cp])
+			d2 := depth + 1 + cp
+			switch {
+			case d2 == len(key):
+				nn.leafHere.Store(newLeaf(key, value))
+				nn.addChild(lk[d2], child)
+			case d2 == len(lk):
+				nn.leafHere.Store(child)
+				nn.addChild(key[d2], newLeaf(key, value))
+			default:
+				nn.addChild(key[d2], newLeaf(key, value))
+				nn.addChild(lk[d2], child)
+			}
+			n.swapChild(b, nn)
+			n.unlock()
+			t.size.Add(1)
+			return nil
+		}
+		cv, cok := child.rVersion()
+		if !cok || !n.check(v) {
+			goto restart
+		}
+		parent, pv, pb = n, v, b
+		n, v = child, cv
+		depth++
+	}
+}
+
+// swapChild replaces the child for byte b. Caller holds the lock.
+func (n *node) swapChild(b byte, c *node) {
+	switch n.kind {
+	case kind4, kind16:
+		num := int(n.num.Load())
+		for i := 0; i < num; i++ {
+			if n.keyAt(i) == b {
+				n.children[i].Store(c)
+				return
+			}
+		}
+	case kind48:
+		w := atomic.LoadUint64(&n.idx[b>>3])
+		slot := byte(w >> (uint(b&7) * 8))
+		if slot != 0 {
+			n.children[slot-1].Store(c)
+		}
+	case kind256:
+		n.children[b].Store(c)
+	}
+}
+
+// Delete removes key. Nodes are not merged or shrunk (the evaluated
+// workloads are insert/lookup/scan dominated, as in the paper).
+func (t *Tree) Delete(key []byte) bool {
+restart:
+	n := t.root
+	v, ok := n.rVersion()
+	if !ok {
+		goto restart
+	}
+	depth := 0
+	for {
+		prefix := *n.prefix.Load()
+		cpl := commonPrefix(prefix, key[depth:])
+		if cpl < len(prefix) {
+			if !n.check(v) {
+				goto restart
+			}
+			return false
+		}
+		depth += cpl
+		if depth == len(key) {
+			if !n.upgrade(v) {
+				goto restart
+			}
+			l := n.leafHere.Load()
+			if l == nil {
+				n.unlock()
+				return false
+			}
+			n.leafHere.Store(nil)
+			n.unlock()
+			t.size.Add(-1)
+			return true
+		}
+		b := key[depth]
+		child := n.findChild(b)
+		if !n.check(v) {
+			goto restart
+		}
+		if child == nil {
+			return false
+		}
+		if child.kind == kindLeaf {
+			if !n.upgrade(v) {
+				goto restart
+			}
+			if !bytes.Equal(child.key, key) {
+				n.unlock()
+				return false
+			}
+			n.removeChild(b)
+			n.unlock()
+			t.size.Add(-1)
+			return true
+		}
+		cv, cok := child.rVersion()
+		if !cok || !n.check(v) {
+			goto restart
+		}
+		n, v = child, cv
+		depth++
+	}
+}

@@ -1,0 +1,206 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated substrate: workload generation, index
+// loading, throughput measurement, the memory simulator for
+// counter-based results, and paper-style text output. The cmd/ctbench
+// binary and the root bench_test.go both drive this package.
+//
+// Absolute numbers will not match the paper's Xeon testbed; the shapes —
+// who wins, by roughly what factor, where the crossovers fall — are the
+// reproduction target (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	cuckootrie "repro"
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/dataset"
+	"repro/internal/hot"
+	"repro/internal/index"
+	"repro/internal/mlpindex"
+	"repro/internal/skiplist"
+	"repro/internal/wormhole"
+	"repro/internal/ycsb"
+)
+
+// Options scales the experiments.
+type Options struct {
+	Keys    int // dataset size (the paper uses 71M–200M; default 200k)
+	Ops     int // operations per workload measurement
+	Threads int // "all cores" thread count for the multithreaded figures
+	Seed    int64
+}
+
+// Fill applies defaults.
+func (o *Options) Fill() {
+	if o.Keys <= 0 {
+		o.Keys = 200_000
+	}
+	if o.Ops <= 0 {
+		o.Ops = o.Keys
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Engine describes one benchmarked index.
+type Engine struct {
+	Name       string
+	New        func(capacity int) index.Index
+	Concurrent bool // included in multithreaded figures
+	Fixed8     bool // supports only 8-byte keys (MlpIndex)
+	Scans      bool
+}
+
+// Engines returns the paper's index lineup (§6.1).
+func Engines() []Engine {
+	return []Engine{
+		{Name: "CuckooTrie", Concurrent: true, Scans: true,
+			New: func(c int) index.Index {
+				return cuckootrie.New(cuckootrie.Config{CapacityHint: c, AutoResize: true})
+			}},
+		{Name: "ARTOLC", Concurrent: true, Scans: true,
+			New: func(c int) index.Index { return art.New() }},
+		{Name: "HOT", Concurrent: true, Scans: true,
+			New: func(c int) index.Index { return hot.New() }},
+		{Name: "Wormhole", Concurrent: true, Scans: true,
+			New: func(c int) index.Index { return wormhole.New() }},
+		{Name: "STX", Concurrent: false, Scans: true,
+			New: func(c int) index.Index { return btree.New() }},
+	}
+}
+
+// engineByName finds an engine.
+func engineByName(name string) (Engine, bool) {
+	for _, e := range Engines() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	switch name {
+	case "MlpIndex":
+		return Engine{Name: "MlpIndex", Fixed8: true,
+			New: func(c int) index.Index { return mlpindex.New(c) }}, true
+	case "SkipList":
+		return Engine{Name: "SkipList", Scans: true,
+			New: func(c int) index.Index { return skiplist.New(7) }}, true
+	}
+	return Engine{}, false
+}
+
+// load inserts keys[0:n] into a fresh index.
+func load(e Engine, keys [][]byte, n int) index.Index {
+	ix := e.New(n)
+	for i := 0; i < n; i++ {
+		if err := ix.Set(keys[i], uint64(i)); err != nil {
+			panic(fmt.Sprintf("%s load: %v", e.Name, err))
+		}
+	}
+	return ix
+}
+
+// mops converts an op count and duration to millions of ops per second.
+func mops(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds() / 1e6
+}
+
+// runWorkload measures a YCSB workload with the given thread count.
+// keys[0:loaded] are pre-loaded; the rest feed inserts.
+func runWorkload(e Engine, w ycsb.Workload, keys [][]byte, loaded, ops, threads int, seed int64) float64 {
+	if w == ycsb.Load {
+		// LOAD measures insertion of the whole dataset.
+		return runLoad(e, keys, threads)
+	}
+	ix := load(e, keys, loaded)
+	perThread := ops / threads
+	extraPer := (len(keys) - loaded) / maxInt(threads, 1)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			// Each thread gets a disjoint slice of insert keys.
+			lo := loaded + t*extraPer
+			hi := lo + extraPer
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			tk := make([][]byte, 0, loaded+hi-lo)
+			tk = append(tk, keys[:loaded]...)
+			tk = append(tk, keys[lo:hi]...)
+			g := ycsb.NewGenerator(w, ycsb.Uniform, tk, loaded, seed+int64(t))
+			g.Run(ix, perThread)
+		}(t)
+	}
+	wg.Wait()
+	return mops(perThread*threads, time.Since(start))
+}
+
+func runLoad(e Engine, keys [][]byte, threads int) float64 {
+	ix := e.New(len(keys))
+	per := len(keys) / threads
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lo, hi := t*per, (t+1)*per
+			if t == threads-1 {
+				hi = len(keys)
+			}
+			for i := lo; i < hi; i++ {
+				if err := ix.Set(keys[i], uint64(i)); err != nil {
+					panic(fmt.Sprintf("%s load: %v", e.Name, err))
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	return mops(len(keys), time.Since(start))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// datasetKeys generates a dataset, memoized: the experiment grids request
+// the same dataset for every (engine, workload) cell.
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string][][]byte{}
+)
+
+func datasetKeys(name dataset.Name, n int, seed int64) [][]byte {
+	key := fmt.Sprintf("%s/%d/%d", name, n, seed)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if ks, ok := dsCache[key]; ok {
+		return ks
+	}
+	ks := dataset.Generate(name, n, seed)
+	dsCache[key] = ks
+	return ks
+}
+
+// header prints a figure/table banner.
+func header(w io.Writer, title, paperRef string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+	fmt.Fprintf(w, "(paper: %s)\n", paperRef)
+}

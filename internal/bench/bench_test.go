@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for CI smoke runs.
+func tiny() Options { return Options{Keys: 5000, Ops: 5000, Threads: 2, Seed: 1} }
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not short")
+	}
+	cases := []struct {
+		name string
+		run  func(o Options, buf *bytes.Buffer)
+		want []string
+	}{
+		{"table1", func(o Options, b *bytes.Buffer) { Table1(b, o) }, []string{"rand-8", "az", "reddit"}},
+		{"fig2", func(o Options, b *bytes.Buffer) { Fig2(b, o) }, []string{"CuckooTrie", "STX", "eff.lat"}},
+		{"fig9", func(o Options, b *bytes.Buffer) { Fig9(b, o) }, []string{"CuckooTrie", "Wormhole"}},
+		{"fig11", func(o Options, b *bytes.Buffer) { Fig11(b, o) }, []string{"CuckooTrie (resize)", "HOT"}},
+		{"fig12", func(o Options, b *bytes.Buffer) { Fig12(b, o) }, []string{"MlpIndex", "bytes/key"}},
+		{"table3", func(o Options, b *bytes.Buffer) { Table3(b, o) }, []string{"DRAM", "UPI"}},
+		{"ablation", func(o Options, b *bytes.Buffer) { Ablation(b, o) }, []string{"nodes/key", "D=5"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			c.run(tiny(), &buf)
+			out := buf.String()
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Fatalf("%s output missing %q:\n%s", c.name, w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	// The reproduction target: the Cuckoo Trie's effective DRAM latency must
+	// be well below the serial indexes' (the paper reports ~3x).
+	var buf bytes.Buffer
+	o := Options{Keys: 30000, Ops: 10000, Threads: 1, Seed: 1}
+	Fig2(&buf, o)
+	var ctEff, artEff float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 6 {
+			continue
+		}
+		switch f[0] {
+		case "CuckooTrie":
+			ctEff = atofOr(f[5], 0)
+		case "ARTOLC":
+			artEff = atofOr(f[5], 0)
+		}
+	}
+	if ctEff <= 0 || artEff <= 0 {
+		t.Fatalf("could not parse Fig2 output:\n%s", buf.String())
+	}
+	if ctEff*1.5 > artEff {
+		t.Fatalf("effective latency gap too small: CT %.1f vs ART %.1f", ctEff, artEff)
+	}
+}
+
+func atofOr(s string, def float64) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,220 @@
+// Package btree implements an STX-style in-memory B+-tree: a cache-conscious
+// comparison-based ordered index with wide nodes, sorted key arrays, binary
+// search within nodes, and linked leaves for fast range scans. It is the
+// paper's "STX" baseline (§6.1, [4]/TLX): single-threaded, like the
+// original.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Fanout parameters (TLX uses node sizes tuned to cache lines; 32/64 slots
+// give comparable height for our key sizes).
+const (
+	innerSlots = 32
+	leafSlots  = 64
+)
+
+type leaf struct {
+	keys [][]byte
+	vals []uint64
+	next *leaf
+}
+
+type inner struct {
+	// keys[i] is the smallest key of children[i+1]'s subtree.
+	keys     [][]byte
+	children []any // *inner or *leaf
+}
+
+// Tree is a single-threaded B+-tree from byte-string keys to uint64 values.
+type Tree struct {
+	root  any // *inner, *leaf, or nil
+	size  int
+	depth int
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "STX-BTree" }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	l := t.findLeaf(key)
+	if l == nil {
+		return 0, false
+	}
+	i := sort.Search(len(l.keys), func(i int) bool { return bytes.Compare(l.keys[i], key) >= 0 })
+	if i < len(l.keys) && bytes.Equal(l.keys[i], key) {
+		return l.vals[i], true
+	}
+	return 0, false
+}
+
+func (t *Tree) findLeaf(key []byte) *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case nil:
+			return nil
+		case *leaf:
+			return v
+		case *inner:
+			i := sort.Search(len(v.keys), func(i int) bool { return bytes.Compare(v.keys[i], key) > 0 })
+			n = v.children[i]
+		}
+	}
+}
+
+// Set inserts or updates key.
+func (t *Tree) Set(key []byte, value uint64) error {
+	if t.root == nil {
+		l := &leaf{keys: make([][]byte, 0, leafSlots), vals: make([]uint64, 0, leafSlots)}
+		l.keys = append(l.keys, cloneKey(key))
+		l.vals = append(l.vals, value)
+		t.root = l
+		t.size = 1
+		t.depth = 1
+		return nil
+	}
+	splitKey, splitNode, grew := t.insert(t.root, key, value)
+	if splitNode != nil {
+		r := &inner{
+			keys:     [][]byte{splitKey},
+			children: []any{t.root, splitNode},
+		}
+		t.root = r
+		t.depth++
+	}
+	if grew {
+		t.size++
+	}
+	return nil
+}
+
+// insert descends into n. Returns a (separator, new right sibling) pair when
+// n split, and whether a new key was added.
+func (t *Tree) insert(n any, key []byte, value uint64) ([]byte, any, bool) {
+	switch v := n.(type) {
+	case *leaf:
+		i := sort.Search(len(v.keys), func(i int) bool { return bytes.Compare(v.keys[i], key) >= 0 })
+		if i < len(v.keys) && bytes.Equal(v.keys[i], key) {
+			v.vals[i] = value
+			return nil, nil, false
+		}
+		v.keys = append(v.keys, nil)
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = cloneKey(key)
+		v.vals = append(v.vals, 0)
+		copy(v.vals[i+1:], v.vals[i:])
+		v.vals[i] = value
+		if len(v.keys) <= leafSlots {
+			return nil, nil, true
+		}
+		mid := len(v.keys) / 2
+		right := &leaf{
+			keys: append(make([][]byte, 0, leafSlots), v.keys[mid:]...),
+			vals: append(make([]uint64, 0, leafSlots), v.vals[mid:]...),
+			next: v.next,
+		}
+		v.keys = v.keys[:mid]
+		v.vals = v.vals[:mid]
+		v.next = right
+		return right.keys[0], right, true
+	case *inner:
+		i := sort.Search(len(v.keys), func(i int) bool { return bytes.Compare(v.keys[i], key) > 0 })
+		sk, sn, grew := t.insert(v.children[i], key, value)
+		if sn == nil {
+			return nil, nil, grew
+		}
+		v.keys = append(v.keys, nil)
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = sk
+		v.children = append(v.children, nil)
+		copy(v.children[i+2:], v.children[i+1:])
+		v.children[i+1] = sn
+		if len(v.children) <= innerSlots {
+			return nil, nil, grew
+		}
+		mid := len(v.keys) / 2
+		sepUp := v.keys[mid]
+		right := &inner{
+			keys:     append([][]byte(nil), v.keys[mid+1:]...),
+			children: append([]any(nil), v.children[mid+1:]...),
+		}
+		v.keys = v.keys[:mid]
+		v.children = v.children[:mid+1]
+		return sepUp, right, grew
+	}
+	panic("btree: bad node type")
+}
+
+// Delete removes key.
+func (t *Tree) Delete(key []byte) bool {
+	// STX-style lazy deletion: remove from the leaf; underfull leaves are
+	// tolerated (rebalancing is elided as scans skip empty leaves). This
+	// matches the benchmark usage, where STX sees no delete-heavy workloads.
+	l := t.findLeaf(key)
+	if l == nil {
+		return false
+	}
+	i := sort.Search(len(l.keys), func(i int) bool { return bytes.Compare(l.keys[i], key) >= 0 })
+	if i >= len(l.keys) || !bytes.Equal(l.keys[i], key) {
+		return false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Scan visits up to n keys ≥ start in order.
+func (t *Tree) Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int {
+	l := t.findLeaf(start)
+	if l == nil {
+		return 0
+	}
+	i := sort.Search(len(l.keys), func(i int) bool { return bytes.Compare(l.keys[i], start) >= 0 })
+	visited := 0
+	for l != nil && visited < n {
+		for ; i < len(l.keys) && visited < n; i++ {
+			visited++
+			if !fn(l.keys[i], l.vals[i]) {
+				return visited
+			}
+		}
+		l = l.next
+		i = 0
+	}
+	return visited
+}
+
+// MemoryOverheadBytes counts node structures and per-key bookkeeping
+// (slice headers + value + key pointer), excluding key bytes (§6.5).
+func (t *Tree) MemoryOverheadBytes() int64 {
+	var total int64
+	var walk func(n any)
+	walk = func(n any) {
+		switch v := n.(type) {
+		case *leaf:
+			// next ptr + slice headers + per-slot key header (24B) and value.
+			total += 8 + 48 + int64(cap(v.keys))*24 + int64(cap(v.vals))*8
+		case *inner:
+			total += 48 + int64(cap(v.keys))*24 + int64(cap(v.children))*16
+			for _, c := range v.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+func cloneKey(k []byte) []byte { return append([]byte(nil), k...) }

@@ -1,0 +1,40 @@
+package btree_test
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return btree.New() }, indextest.Options{})
+}
+
+func TestDeepSplits(t *testing.T) {
+	// Sequential inserts force splits at every level.
+	tr := btree.New()
+	n := 50_000
+	for i := 0; i < n; i++ {
+		k := []byte{byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)}
+		if err := tr.Set(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Scan must visit all keys in order.
+	prev := -1
+	count := tr.Scan(nil, n+10, func(k []byte, v uint64) bool {
+		if int(v) <= prev {
+			t.Fatalf("disorder at %d after %d", v, prev)
+		}
+		prev = int(v)
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d", count)
+	}
+}

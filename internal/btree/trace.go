@@ -1,0 +1,35 @@
+package btree
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+)
+
+// LookupLevels returns the cache lines a lookup touches per level. B+-tree
+// nodes are wide: binary search inside a node touches ~log2(slots) key
+// headers plus the key bytes — those intra-node lines overlap, but levels
+// are serial (§3.2: STX's per-node accesses partially overlap, the path
+// does not).
+func (t *Tree) LookupLevels(key []byte) [][]uint64 {
+	var levels [][]uint64
+	n := t.root
+	for n != nil {
+		switch v := n.(type) {
+		case *leaf:
+			addr := uint64(reflect.ValueOf(v).Pointer())
+			// Binary search over up to 64 keys: ~6 probed slots, each
+			// touching a header line and a key-bytes line.
+			levels = append(levels, []uint64{addr / 64, addr/64 + 3, addr/64 + 7, addr/64 + 11, addr/64 + 14, addr/64 + 18})
+			return levels
+		case *inner:
+			addr := uint64(reflect.ValueOf(v).Pointer())
+			levels = append(levels, []uint64{addr / 64, addr/64 + 2, addr/64 + 5, addr/64 + 8, addr/64 + 11})
+			i := sort.Search(len(v.keys), func(i int) bool { return bytes.Compare(v.keys[i], key) > 0 })
+			n = v.children[i]
+		default:
+			return levels
+		}
+	}
+	return levels
+}

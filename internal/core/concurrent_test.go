@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestConcurrentInserts(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 15, AutoResize: true})
+	workers := runtime.GOMAXPROCS(0)
+	perWorker := 4000
+	if testing.Short() {
+		perWorker = 500
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				k := keys.Uint64Key(uint64(w)<<48 | uint64(rng.Int63n(1<<40)))
+				if err := tr.Set(k, uint64(w)); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkInv(t, tr)
+	// All inserted keys must be present.
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWorker; i++ {
+			k := keys.Uint64Key(uint64(w)<<48 | uint64(rng.Int63n(1<<40)))
+			if _, ok := tr.Get(k); !ok {
+				t.Fatalf("key from worker %d missing", w)
+			}
+		}
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 14, AutoResize: true})
+	// Stable keys that are never touched by writers.
+	const stable = 2000
+	for i := 0; i < stable; i++ {
+		must(t, tr.Set(keys.Uint64Key(uint64(i)*2+1), uint64(i)))
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers insert and delete disjoint churn keys.
+	writers := 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			var mine []uint64
+			for !stop.Load() {
+				if len(mine) == 0 || rng.Intn(2) == 0 {
+					v := uint64(w+1)<<50 | uint64(rng.Int63n(1<<30))*2
+					if err := tr.Set(keys.Uint64Key(v), v); err != nil {
+						t.Errorf("Set: %v", err)
+						return
+					}
+					mine = append(mine, v)
+				} else {
+					i := rng.Intn(len(mine))
+					tr.Delete(keys.Uint64Key(mine[i]))
+					mine[i] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				}
+			}
+		}(w)
+	}
+
+	// Readers verify the stable keys continuously.
+	readers := 4
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for !stop.Load() {
+				i := rng.Intn(stable)
+				v, ok := tr.Get(keys.Uint64Key(uint64(i)*2 + 1))
+				if !ok || v != uint64(i) {
+					errs <- errFmt("stable key %d: got %d,%v", i, v, ok)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Scanners iterate and check ordering invariants.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			it, err := tr.Seek(nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var prev []byte
+			n := 0
+			for it.Valid() && n < 3000 {
+				if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+					errs <- errFmt("scan order violation: %x >= %x", prev, it.Key())
+					return
+				}
+				prev = append(prev[:0], it.Key()...)
+				n++
+				it.Next()
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		runtime.Gosched()
+	}
+	// Let the workers churn for a bit of wall time.
+	for i := 0; i < 50; i++ {
+		if _, ok := tr.Get(keys.Uint64Key(3)); !ok {
+			t.Fatal("stable key lost")
+		}
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	checkInv(t, tr)
+	for i := 0; i < stable; i++ {
+		if v, ok := tr.Get(keys.Uint64Key(uint64(i)*2 + 1)); !ok || v != uint64(i) {
+			t.Fatalf("stable key %d lost after churn", i)
+		}
+	}
+}
+
+func TestConcurrentDisjointDeletes(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 14, AutoResize: true})
+	n := 20000
+	if testing.Short() {
+		n = 4000
+	}
+	for i := 0; i < n; i++ {
+		must(t, tr.Set(keys.Uint64Key(uint64(i)), uint64(i)))
+	}
+	workers := 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if !tr.Delete(keys.Uint64Key(uint64(i))) {
+					t.Errorf("delete %d failed", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after concurrent delete of all", tr.Len())
+	}
+	checkInv(t, tr)
+}
+
+func TestConcurrentSameKeyUpserts(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 10, AutoResize: true})
+	const hotKeys = 16
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := keys.Uint64Key(uint64(rng.Intn(hotKeys)))
+				if err := tr.Set(k, uint64(w)); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkInv(t, tr)
+	if tr.Len() != hotKeys {
+		t.Fatalf("Len = %d, want %d", tr.Len(), hotKeys)
+	}
+}
+
+func errFmt(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestDeleteSimple(t *testing.T) {
+	tr := newTestTrie(64)
+	must(t, tr.Set([]byte("a"), 1))
+	must(t, tr.Set([]byte("b"), 2))
+	must(t, tr.Set([]byte("c"), 3))
+	checkInv(t, tr)
+	if !tr.Delete([]byte("b")) {
+		t.Fatal("Delete(b) = false")
+	}
+	checkInv(t, tr)
+	if _, ok := tr.Get([]byte("b")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := tr.Get([]byte("a")); !ok || v != 1 {
+		t.Fatal("sibling lost after delete")
+	}
+	if tr.Delete([]byte("b")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete([]byte("zz")) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	checkOrder(t, tr, [][]byte{[]byte("a"), []byte("c")})
+}
+
+func TestDeleteLastKey(t *testing.T) {
+	tr := newTestTrie(16)
+	must(t, tr.Set([]byte("only"), 1))
+	if !tr.Delete([]byte("only")) {
+		t.Fatal("delete failed")
+	}
+	checkInv(t, tr)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on emptied trie")
+	}
+	// Trie remains usable.
+	must(t, tr.Set([]byte("again"), 2))
+	checkInv(t, tr)
+	if v, ok := tr.Get([]byte("again")); !ok || v != 2 {
+		t.Fatal("reinsert after emptying failed")
+	}
+}
+
+func TestDeleteHoistsSibling(t *testing.T) {
+	// Two keys with a long common prefix build a jump chain; deleting one
+	// must collapse the tail and hoist the survivor.
+	tr := newTestTrie(128)
+	a := []byte("shared-long-prefix-0000/a")
+	b := []byte("shared-long-prefix-0000/b")
+	must(t, tr.Set(a, 1))
+	must(t, tr.Set(b, 2))
+	checkInv(t, tr)
+	st := tr.Stats()
+	if st.JumpNodes == 0 {
+		t.Fatal("expected jump chain")
+	}
+	if !tr.Delete(a) {
+		t.Fatal("delete failed")
+	}
+	checkInv(t, tr)
+	if v, ok := tr.Get(b); !ok || v != 2 {
+		t.Fatal("survivor lost")
+	}
+	st = tr.Stats()
+	if st.SlotsUsed != 2 { // root + hoisted leaf
+		t.Fatalf("expected full tail collapse, %d slots used", st.SlotsUsed)
+	}
+	// And the other direction.
+	must(t, tr.Set(a, 1))
+	checkInv(t, tr)
+	if !tr.Delete(b) {
+		t.Fatal("delete failed")
+	}
+	checkInv(t, tr)
+	if v, ok := tr.Get(a); !ok || v != 1 {
+		t.Fatal("survivor lost")
+	}
+}
+
+func TestDeleteConvertsToJump(t *testing.T) {
+	// Parent with two children where the survivor is an interior subtree:
+	// the parent must become a jump node.
+	tr := newTestTrie(256)
+	ks := [][]byte{
+		[]byte("xx-a"),
+		[]byte("xx-branch-one"),
+		[]byte("xx-branch-two"),
+	}
+	for i, k := range ks {
+		must(t, tr.Set(k, uint64(i)))
+	}
+	checkInv(t, tr)
+	if !tr.Delete(ks[0]) {
+		t.Fatal("delete failed")
+	}
+	checkInv(t, tr)
+	for _, k := range ks[1:] {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("lost %q", k)
+		}
+	}
+	checkOrder(t, tr, ks[1:])
+}
+
+func TestDeleteRandomModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := newTestTrie(1024)
+	model := map[string]uint64{}
+	var live []string
+	for round := 0; round < 6000; round++ {
+		if len(live) == 0 || rng.Intn(100) < 55 {
+			k := randKey(rng, 1+rng.Intn(16))
+			if _, dup := model[string(k)]; dup {
+				continue
+			}
+			must(t, tr.Set(k, uint64(round)))
+			model[string(k)] = uint64(round)
+			live = append(live, string(k))
+		} else {
+			i := rng.Intn(len(live))
+			k := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !tr.Delete([]byte(k)) {
+				t.Fatalf("Delete(%x) = false for live key", k)
+			}
+			delete(model, k)
+		}
+		if round%500 == 499 {
+			checkInv(t, tr)
+			verifyModel(t, tr, model)
+		}
+	}
+	checkInv(t, tr)
+	verifyModel(t, tr, model)
+}
+
+func TestDeleteAllInOrder(t *testing.T) {
+	for _, order := range []string{"asc", "desc", "random"} {
+		t.Run(order, func(t *testing.T) {
+			tr := newTestTrie(512)
+			n := 500
+			var ks [][]byte
+			for i := 0; i < n; i++ {
+				k := keys.Uint64Key(uint64(i * 1000003 % 100000))
+				ks = append(ks, k)
+				must(t, tr.Set(k, uint64(i)))
+			}
+			switch order {
+			case "desc":
+				sort.Slice(ks, func(i, j int) bool { return bytes.Compare(ks[i], ks[j]) > 0 })
+			case "asc":
+				sort.Slice(ks, func(i, j int) bool { return bytes.Compare(ks[i], ks[j]) < 0 })
+			case "random":
+				rand.New(rand.NewSource(2)).Shuffle(len(ks), func(i, j int) { ks[i], ks[j] = ks[j], ks[i] })
+			}
+			for i, k := range ks {
+				if !tr.Delete(k) {
+					t.Fatalf("delete %d failed", i)
+				}
+				if i%100 == 99 {
+					checkInv(t, tr)
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("Len = %d after deleting all", tr.Len())
+			}
+			checkInv(t, tr)
+		})
+	}
+}
+
+func TestDeletePrefixFamilies(t *testing.T) {
+	// Delete within families of prefix-related keys, which stress the
+	// terminator-leaf edge cases.
+	tr := newTestTrie(256)
+	var ks [][]byte
+	for _, base := range []string{"p", "q"} {
+		k := base
+		for i := 0; i < 8; i++ {
+			ks = append(ks, []byte(k))
+			k += fmt.Sprintf("%c", 'a'+i)
+		}
+	}
+	for i, k := range ks {
+		must(t, tr.Set(k, uint64(i)))
+	}
+	checkInv(t, tr)
+	// Delete every other key.
+	model := map[string]uint64{}
+	for i, k := range ks {
+		model[string(k)] = uint64(i)
+	}
+	for i := 0; i < len(ks); i += 2 {
+		if !tr.Delete(ks[i]) {
+			t.Fatalf("delete %q failed", ks[i])
+		}
+		delete(model, string(ks[i]))
+		checkInv(t, tr)
+	}
+	verifyModel(t, tr, model)
+}
+
+func TestDeleteMinMaxMaintenance(t *testing.T) {
+	tr := newTestTrie(256)
+	for i := 0; i < 50; i++ {
+		must(t, tr.Set(keys.Uint64Key(uint64(i)), uint64(i)))
+	}
+	// Repeatedly delete the minimum.
+	for i := 0; i < 25; i++ {
+		k, _, ok := tr.Min()
+		if !ok || keys.Uint64FromKey(k) != uint64(i) {
+			t.Fatalf("Min = %x at round %d", k, i)
+		}
+		if !tr.Delete(k) {
+			t.Fatal("delete min failed")
+		}
+	}
+	checkInv(t, tr)
+	// Repeatedly delete the maximum.
+	for i := 49; i >= 40; i-- {
+		k, _, ok := tr.Max()
+		if !ok || keys.Uint64FromKey(k) != uint64(i) {
+			t.Fatalf("Max = %x at round %d", k, i)
+		}
+		if !tr.Delete(k) {
+			t.Fatal("delete max failed")
+		}
+	}
+	checkInv(t, tr)
+	if tr.Len() != 15 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteThenResize(t *testing.T) {
+	tr := New(Config{CapacityHint: 16, AutoResize: true})
+	model := map[string]uint64{}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		k := randKey(rng, 1+rng.Intn(12))
+		model[string(k)] = uint64(i)
+		must(t, tr.Set(k, uint64(i)))
+		if i%3 == 0 {
+			for mk := range model {
+				tr.Delete([]byte(mk))
+				delete(model, mk)
+				break
+			}
+		}
+	}
+	checkInv(t, tr)
+	verifyModel(t, tr, model)
+}
+
+func checkInv(t *testing.T, tr *Trie) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violation: %v", err)
+	}
+}

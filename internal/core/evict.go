@@ -1,0 +1,168 @@
+package core
+
+import "sync/atomic"
+
+// Cuckoo relocations. When both candidate buckets of a new entry are full, a
+// chain of entries is relocated, each to its alternate bucket, to free a
+// slot (§2, §4.2). Key elimination makes this possible without stored keys:
+// an entry's tag plus its current bucket and primacy determine its full hash
+// and hence its alternate bucket.
+//
+// Relocations never change the logical trie (locators are (hash, color),
+// not addresses), so each move is an independent two-bucket critical
+// section; concurrent readers ride over them via the FindChild retry loop
+// (§5: "if there is a concurrent relocation, the node will eventually be
+// found in a later iteration").
+
+type kickEdge struct {
+	from     slotRef
+	w0       uint64 // expected encoded entry (identity check at apply time)
+	w1, w2   uint64
+	to       uint64
+	newEntry entry
+}
+
+// makeRoom tries to free a slot in one of the candidate buckets of hash h.
+func (tr *Trie) makeRoom(t *table, h uint64) bool {
+	for attempt := 0; attempt < 8; attempt++ {
+		chain, ok := t.findEvictionChain(h, tr.cfg.MaxKicks)
+		if !ok {
+			return false
+		}
+		if t.applyChain(chain) {
+			return true
+		}
+	}
+	return false
+}
+
+// findEvictionChain BFS-searches buckets reachable by relocation from the two
+// candidate buckets of h until a bucket with a free slot is found. Returns
+// the move sequence ordered root-to-free; the caller applies it in reverse.
+func (t *table) findEvictionChain(h uint64, maxNodes int) ([]kickEdge, bool) {
+	b1, b2, _ := t.bucketsOf(h)
+
+	type bfsNode struct {
+		bucket uint64
+		parent int // index into nodes; -1 for roots
+		edge   kickEdge
+	}
+	nodes := make([]bfsNode, 0, maxNodes)
+	nodes = append(nodes, bfsNode{bucket: b1, parent: -1})
+	if b2 != b1 {
+		nodes = append(nodes, bfsNode{bucket: b2, parent: -1})
+	}
+	seen := map[uint64]bool{b1: true, b2: true}
+
+	for qi := 0; qi < len(nodes) && len(nodes) < maxNodes; qi++ {
+		b := nodes[qi].bucket
+		snap, ok := t.readBucket(b)
+		if !ok {
+			continue
+		}
+		if snap.freeSlot() >= 0 && nodes[qi].parent != -1 {
+			// Collect the chain root→...→here.
+			var chain []kickEdge
+			for i := qi; nodes[i].parent != -1; i = nodes[i].parent {
+				chain = append(chain, nodes[i].edge)
+			}
+			// Reverse to root-to-free order.
+			for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+				chain[l], chain[r] = chain[r], chain[l]
+			}
+			return chain, true
+		}
+		if snap.freeSlot() >= 0 && nodes[qi].parent == -1 {
+			// A root already has space; nothing to do.
+			return nil, true
+		}
+		for slot := 0; slot < entriesPerBucket; slot++ {
+			e := snap.entries[slot]
+			if e.kind == kindEmpty {
+				continue
+			}
+			alt := t.altBucket(b, e.tag, e.primary)
+			if seen[alt] {
+				continue
+			}
+			seen[alt] = true
+			moved := e
+			moved.primary = !e.primary
+			w0, w1, w2 := e.encode()
+			nodes = append(nodes, bfsNode{
+				bucket: alt,
+				parent: qi,
+				edge: kickEdge{
+					from:     slotRef{b, slot},
+					w0:       w0,
+					w1:       w1,
+					w2:       w2,
+					to:       alt,
+					newEntry: moved,
+				},
+			})
+			if len(nodes) >= maxNodes {
+				break
+			}
+		}
+	}
+	return nil, false
+}
+
+// applyChain performs the relocations last-to-first, each as a two-bucket
+// locked move with content revalidation.
+func (t *table) applyChain(chain []kickEdge) bool {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if !t.applyMove(&chain[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *table) applyMove(e *kickEdge) bool {
+	fb, tb := e.from.bucket, e.to
+	vf := t.loadVersion(fb)
+	vt := t.loadVersion(tb)
+	if fb == tb {
+		return false
+	}
+	// Lock in ascending order to reduce writer livelock.
+	first, second := fb, tb
+	v1, v2 := vf, vt
+	if first > second {
+		first, second = second, first
+		v1, v2 = v2, v1
+	}
+	if !t.tryLock(first, v1) {
+		return false
+	}
+	if !t.tryLock(second, v2) {
+		t.unlock(first, v1, false)
+		return false
+	}
+	ok := false
+	// Revalidate: source slot still holds the expected entry and the
+	// destination still has room.
+	base := fb*bucketWords + 1 + uint64(e.from.slot)*3
+	if atomic.LoadUint64(&t.words[base]) == e.w0 &&
+		atomic.LoadUint64(&t.words[base+1]) == e.w1 &&
+		atomic.LoadUint64(&t.words[base+2]) == e.w2 {
+		free := -1
+		for s := 0; s < entriesPerBucket; s++ {
+			tbase := tb*bucketWords + 1 + uint64(s)*3
+			if atomic.LoadUint64(&t.words[tbase])&3 == kindEmpty {
+				free = s
+				break
+			}
+		}
+		if free >= 0 {
+			t.writeSlot(tb, free, e.newEntry)
+			t.clearSlot(fb, e.from.slot)
+			ok = true
+		}
+	}
+	t.unlock(second, v2, ok)
+	t.unlock(first, v1, ok)
+	return ok
+}

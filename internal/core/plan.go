@@ -1,0 +1,294 @@
+package core
+
+import "sync"
+
+// A plan accumulates a writer's intended changes — new entries to place and
+// existing entries to overwrite — computed optimistically from consistent
+// bucket snapshots. Applying the plan CAS-locks every involved bucket,
+// validating that nothing changed since it was read (§5), then writes and
+// releases. Any validation failure aborts the whole plan and the operation
+// restarts from scratch.
+
+type plannedWrite struct {
+	b    uint64
+	slot int
+	ent  entry
+}
+
+type plannedMod struct {
+	ref entryRef
+	ent entry
+}
+
+type snapCacheEnt struct {
+	b    uint64
+	snap bucketSnap
+}
+
+type colorUse struct {
+	hash uint64
+	mask uint8
+}
+
+type plan struct {
+	t     *table
+	locks lockSet
+	dirty []uint64 // buckets whose content the plan changes
+
+	writes []plannedWrite
+	mods   []plannedMod
+
+	snaps     []snapCacheEnt
+	colorUses []colorUse
+	taken     []slotRef // slots consumed by earlier placements in this plan
+
+	minUpdate bool
+	newMin    locator
+	minClear  bool
+
+	needRoom     bool
+	needRoomHash uint64
+	colorsFull   bool // all colors for some hash taken: only a resize helps
+	failed       bool
+}
+
+// Plans are pooled: writers build and apply several per second per core,
+// and the slice-backed bookkeeping would otherwise dominate insert cost.
+var planPool = sync.Pool{New: func() any { return &plan{} }}
+
+func newPlan(t *table) *plan {
+	p := planPool.Get().(*plan)
+	p.reset(t)
+	return p
+}
+
+// recycle returns the plan to the pool. The caller must not touch it after.
+func (p *plan) recycle() { planPool.Put(p) }
+
+func (p *plan) reset(t *table) {
+	p.t = t
+	p.locks.reset()
+	p.dirty = p.dirty[:0]
+	p.writes = p.writes[:0]
+	p.mods = p.mods[:0]
+	p.snaps = p.snaps[:0]
+	p.colorUses = p.colorUses[:0]
+	p.taken = p.taken[:0]
+	p.minUpdate = false
+	p.minClear = false
+	p.needRoom = false
+	p.colorsFull = false
+	p.failed = false
+}
+
+// snapshot returns a cached consistent snapshot of bucket b, registering its
+// version for lock-time validation. The snapshot is returned by value: the
+// cache slice may grow and relocate.
+func (p *plan) snapshot(b uint64) (bucketSnap, bool) {
+	for i := range p.snaps {
+		if p.snaps[i].b == b {
+			return p.snaps[i].snap, true
+		}
+	}
+	s, ok := p.t.readBucket(b)
+	if !ok {
+		p.failed = true
+		return bucketSnap{}, false
+	}
+	p.snaps = append(p.snaps, snapCacheEnt{b, s})
+	p.locks.add(b, s.ver)
+	return s, true
+}
+
+// addRef registers an already-read entry's bucket version for validation.
+func (p *plan) addRef(ref entryRef) { p.locks.add(ref.bucket, ref.ver) }
+
+func (p *plan) markDirty(b uint64) {
+	for _, d := range p.dirty {
+		if d == b {
+			return
+		}
+	}
+	p.dirty = append(p.dirty, b)
+}
+
+func (p *plan) slotTaken(b uint64, slot int) bool {
+	for _, s := range p.taken {
+		if s.bucket == b && s.slot == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// usedColors returns the set (as a bitmask) of colors already used by live
+// entries with the given hash, across both candidate buckets, including
+// colors assigned by this plan.
+func (p *plan) usedColors(h uint64) (uint8, bool) {
+	b1, b2, tag := p.t.bucketsOf(h)
+	var mask uint8
+	s1, ok := p.snapshot(b1)
+	if !ok {
+		return 0, false
+	}
+	for i := range s1.entries {
+		e := &s1.entries[i]
+		if e.kind != kindEmpty && e.tag == tag && e.primary {
+			mask |= 1 << e.color
+		}
+	}
+	s2, ok := p.snapshot(b2)
+	if !ok {
+		return 0, false
+	}
+	for i := range s2.entries {
+		e := &s2.entries[i]
+		if e.kind != kindEmpty && e.tag == tag && !e.primary {
+			mask |= 1 << e.color
+		}
+	}
+	for _, cu := range p.colorUses {
+		if cu.hash == h {
+			mask |= cu.mask
+		}
+	}
+	return mask, true
+}
+
+// place allocates a slot and a color for a new entry with hash h and
+// registers the write. The prototype's identity fields (tag, primary, color)
+// are filled in. Returns the write index (for later field patching) and the
+// entry's locator. On failure the plan is marked needRoom (no free slot) or
+// failed (transient read conflict / colors exhausted).
+func (p *plan) place(h uint64, proto entry) (int, locator) {
+	if p.failed || p.needRoom {
+		return -1, locator{}
+	}
+	used, ok := p.usedColors(h)
+	if !ok {
+		return -1, locator{}
+	}
+	var color uint8 = 0xff
+	for c := uint8(0); c < numColors; c++ {
+		if used&(1<<c) == 0 {
+			color = c
+			break
+		}
+	}
+	if color == 0xff {
+		// All colors for this hash are taken. Relocation cannot help (colors
+		// are per-hash across both buckets); only a resize — with its new
+		// geometry and hash values — resolves this.
+		p.colorsFull = true
+		return -1, locator{}
+	}
+	b1, b2, tag := p.t.bucketsOf(h)
+	s1, ok1 := p.snapshot(b1)
+	s2, ok2 := p.snapshot(b2)
+	if !ok1 || !ok2 {
+		return -1, locator{}
+	}
+	bsel, slot, primary := uint64(0), -1, true
+	for i := range s1.entries {
+		if s1.entries[i].kind == kindEmpty && !p.slotTaken(b1, i) {
+			bsel, slot, primary = b1, i, true
+			break
+		}
+	}
+	if slot < 0 {
+		for i := range s2.entries {
+			if s2.entries[i].kind == kindEmpty && !p.slotTaken(b2, i) {
+				bsel, slot, primary = b2, i, false
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		p.needRoom = true
+		p.needRoomHash = h
+		return -1, locator{}
+	}
+	proto.tag = tag
+	proto.primary = primary
+	proto.color = color
+	p.taken = append(p.taken, slotRef{bsel, slot})
+	p.colorUses = append(p.colorUses, colorUse{h, 1 << color})
+	p.writes = append(p.writes, plannedWrite{bsel, slot, proto})
+	return len(p.writes) - 1, locator{h, color}
+}
+
+// entOf returns a mutable pointer to a placed entry for field patching.
+func (p *plan) entOf(writeIdx int) *entry { return &p.writes[writeIdx].ent }
+
+// modify registers (or returns the already-registered) overwrite of an
+// existing entry. The returned pointer is mutated by the caller.
+func (p *plan) modify(ref entryRef, cur entry) *entry {
+	p.addRef(ref)
+	for i := range p.mods {
+		if p.mods[i].ref.slotRef == ref.slotRef {
+			return &p.mods[i].ent
+		}
+	}
+	p.mods = append(p.mods, plannedMod{ref, cur})
+	return &p.mods[len(p.mods)-1].ent
+}
+
+// clearEntry registers removal of an existing entry.
+func (p *plan) clearEntry(ref entryRef) {
+	e := p.modify(ref, entry{})
+	*e = entry{}
+}
+
+// setMin schedules an update of the trie's min-leaf locator. The caller must
+// have registered bucket 0 (the convention serializing min updates).
+func (p *plan) setMin(l locator) { p.minUpdate, p.newMin, p.minClear = true, l, false }
+func (p *plan) clearMin()        { p.minUpdate, p.minClear = true, true }
+
+// apply executes the plan atomically with respect to readers and other
+// writers. Reports whether the plan committed.
+func (p *plan) apply(tr *Trie) bool {
+	if p.failed || p.needRoom {
+		return false
+	}
+	if !p.locks.acquire(p.t) {
+		return false
+	}
+	for i := range p.writes {
+		w := &p.writes[i]
+		if !p.locks.holds(w.b) {
+			// Placement bucket must have been registered via snapshot.
+			panic("core: plan write to unlocked bucket")
+		}
+		p.t.writeSlot(w.b, w.slot, w.ent)
+		p.markDirty(w.b)
+	}
+	for i := range p.mods {
+		m := &p.mods[i]
+		p.t.writeSlot(m.ref.bucket, m.ref.slot, m.ent)
+		p.markDirty(m.ref.bucket)
+	}
+	if p.minUpdate {
+		if p.minClear {
+			tr.minLoc.Store(0)
+		} else {
+			tr.minLoc.Store(packMinLoc(p.newMin))
+		}
+		p.markDirty(0)
+	}
+	p.releaseAll()
+	return true
+}
+
+func (p *plan) releaseAll() {
+	ls := &p.locks
+	for i := 0; i < ls.n; i++ {
+		bump := false
+		for _, d := range p.dirty {
+			if d == ls.buckets[i] {
+				bump = true
+				break
+			}
+		}
+		p.t.unlock(ls.buckets[i], ls.vers[i], bump)
+	}
+}

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministicAndDistinct(t *testing.T) {
+	for _, name := range All {
+		a := Generate(name, 2000, 7)
+		b := Generate(name, 2000, 7)
+		if len(a) != 2000 {
+			t.Fatalf("%s: %d keys", name, len(a))
+		}
+		seen := map[string]bool{}
+		for i := range a {
+			if string(a[i]) != string(b[i]) {
+				t.Fatalf("%s not deterministic", name)
+			}
+			if seen[string(a[i])] {
+				t.Fatalf("%s has duplicates", name)
+			}
+			seen[string(a[i])] = true
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	// The datasets must reproduce Table 1's qualitative structure.
+	st := map[Name]Stats{}
+	for _, name := range All {
+		ks := Generate(name, 20000, 1)
+		st[name] = Measure(name, ks)
+	}
+	if st[Rand8].AvgKeyBytes != 8 || st[Rand16].AvgKeyBytes != 16 || st[OSM].AvgKeyBytes != 8 {
+		t.Fatal("fixed-width datasets have wrong key size")
+	}
+	if st[AZ].AvgKeyBytes < 30 || st[AZ].AvgKeyBytes > 42 {
+		t.Fatalf("az key size %.1f, want ~35.7", st[AZ].AvgKeyBytes)
+	}
+	if st[Reddit].AvgKeyBytes < 8 || st[Reddit].AvgKeyBytes > 14 {
+		t.Fatalf("reddit key size %.1f, want ~10.9", st[Reddit].AvgKeyBytes)
+	}
+	// Unique-prefix ordering: az >> reddit > osm > rand-8 ≈ rand-16.
+	if !(st[AZ].AvgUniquePrefix > st[Reddit].AvgUniquePrefix &&
+		st[Reddit].AvgUniquePrefix > st[OSM].AvgUniquePrefix &&
+		st[OSM].AvgUniquePrefix > st[Rand8].AvgUniquePrefix) {
+		t.Fatalf("unique prefix ordering broken: az=%.1f reddit=%.1f osm=%.1f rand8=%.1f",
+			st[AZ].AvgUniquePrefix, st[Reddit].AvgUniquePrefix,
+			st[OSM].AvgUniquePrefix, st[Rand8].AvgUniquePrefix)
+	}
+	if d := st[Rand8].AvgUniquePrefix - st[Rand16].AvgUniquePrefix; d > 1 || d < -1 {
+		t.Fatal("rand-8 and rand-16 should have equal unique prefixes")
+	}
+}
+
+func TestBitLCP(t *testing.T) {
+	if got := bitLCP([]byte{0xff}, []byte{0xfe}); got != 7 {
+		t.Fatalf("bitLCP = %d, want 7", got)
+	}
+	if got := bitLCP([]byte{0xab}, []byte{0xab, 1}); got != 8 {
+		t.Fatalf("bitLCP prefix = %d, want 8", got)
+	}
+}

@@ -1,0 +1,37 @@
+package hot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hot"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return hot.New() }, indextest.Options{})
+}
+
+func TestPrefixKeysOrder(t *testing.T) {
+	// The 9-bit byte encoding must sort prefixes before extensions.
+	tr := hot.New()
+	ks := [][]byte{[]byte("a"), []byte("aa"), []byte("ab"), []byte("b"), []byte("")}
+	for i, k := range ks {
+		tr.Set(k, uint64(i))
+	}
+	var got [][]byte
+	tr.Scan(nil, 10, func(k []byte, v uint64) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	want := [][]byte{[]byte(""), []byte("a"), []byte("aa"), []byte("ab"), []byte("b")}
+	if len(got) != len(want) {
+		t.Fatalf("scan %d keys", len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package hot
+
+import "reflect"
+
+// compoundSpan is the number of crit-bit levels HOT packs into one compound
+// node (≤32-way fanout). Our baseline stores the binary PATRICIA directly;
+// for the memory simulation we model HOT's packing: every compoundSpan
+// crit-bit nodes on a path share one-to-two cache lines, which is what makes
+// HOT shallow (its whole point) while remaining serial across compounds.
+const compoundSpan = 5
+
+// LookupLevels returns the simulated cache lines per compound level.
+func (t *Tree) LookupLevels(key []byte) [][]uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var levels [][]uint64
+	n := t.root
+	step := 0
+	var groupAddr uint64
+	for n != nil {
+		if n.isLeaf() {
+			levels = append(levels, []uint64{uint64(reflect.ValueOf(n).Pointer()) / 64})
+			return levels
+		}
+		if step%compoundSpan == 0 {
+			groupAddr = uint64(reflect.ValueOf(n).Pointer()) / 64
+			levels = append(levels, []uint64{groupAddr, groupAddr + 1})
+		}
+		step++
+		if bitAt(key, n.critBit) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return levels
+}

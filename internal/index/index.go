@@ -1,0 +1,40 @@
+// Package index defines the ordered-index interface implemented by the
+// Cuckoo Trie and every baseline competitor, so that the YCSB workload
+// engine, the mini-Redis store, and the benchmark harness can drive them
+// interchangeably — mirroring the paper's evaluation setup (§6.1), where all
+// indexes store pointers to key-value pairs.
+package index
+
+// Index is an ordered dictionary from byte-string keys to uint64 values.
+type Index interface {
+	// Set inserts or updates a key.
+	Set(key []byte, value uint64) error
+	// Get returns the value for key.
+	Get(key []byte) (uint64, bool)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) bool
+	// Scan visits up to n keys ≥ start in ascending order; fn returning
+	// false stops early. Returns the number visited.
+	Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int
+	// Len returns the number of stored keys.
+	Len() int
+	// MemoryOverheadBytes reports the index's own memory, including
+	// pointers to key-value pairs but excluding the key-value bytes (§6.5).
+	MemoryOverheadBytes() int64
+	// Name identifies the index in benchmark output.
+	Name() string
+}
+
+// Concurrent is implemented by indexes that are safe for concurrent use by
+// multiple goroutines (the paper omits STX and MlpIndex from multithreaded
+// runs; we do the same via this marker).
+type Concurrent interface {
+	Index
+	ConcurrentSafe() bool
+}
+
+// IsConcurrent reports whether ix is safe for multi-goroutine use.
+func IsConcurrent(ix Index) bool {
+	c, ok := ix.(Concurrent)
+	return ok && c.ConcurrentSafe()
+}

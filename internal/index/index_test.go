@@ -1,0 +1,18 @@
+package index_test
+
+import (
+	"testing"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/index"
+)
+
+func TestIsConcurrent(t *testing.T) {
+	if !index.IsConcurrent(art.New()) {
+		t.Fatal("ARTOLC should be concurrent")
+	}
+	if index.IsConcurrent(btree.New()) {
+		t.Fatal("STX should not be concurrent")
+	}
+}

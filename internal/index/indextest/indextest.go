@@ -1,0 +1,243 @@
+// Package indextest provides a reusable conformance suite run against every
+// index.Index implementation (Cuckoo Trie and all baselines), so that the
+// benchmark harness compares functionally equivalent structures.
+package indextest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// Options tailor the suite to an implementation's documented limits.
+type Options struct {
+	// FixedKeyLen restricts generated keys to exactly this many bytes
+	// (MlpIndex supports only 8-byte keys).
+	FixedKeyLen int
+	// NoScan skips ordered-iteration tests (MlpIndex has no scans).
+	NoScan bool
+	// NoDelete skips deletion tests.
+	NoDelete bool
+}
+
+// Run executes the conformance suite. mk must return a fresh empty index
+// sized for at least the given capacity.
+func Run(t *testing.T, mk func(capacity int) index.Index, opts Options) {
+	t.Run("Empty", func(t *testing.T) { testEmpty(t, mk, opts) })
+	t.Run("SetGet", func(t *testing.T) { testSetGet(t, mk, opts) })
+	t.Run("Update", func(t *testing.T) { testUpdate(t, mk, opts) })
+	t.Run("RandomModel", func(t *testing.T) { testRandomModel(t, mk, opts) })
+	if !opts.NoScan {
+		t.Run("ScanOrder", func(t *testing.T) { testScanOrder(t, mk, opts) })
+		t.Run("ScanBounds", func(t *testing.T) { testScanBounds(t, mk, opts) })
+	}
+	if !opts.NoDelete {
+		t.Run("Delete", func(t *testing.T) { testDelete(t, mk, opts) })
+	}
+	t.Run("Memory", func(t *testing.T) { testMemory(t, mk, opts) })
+}
+
+func (o Options) key(rng *rand.Rand) []byte {
+	n := o.FixedKeyLen
+	if n == 0 {
+		n = 1 + rng.Intn(20)
+	}
+	k := make([]byte, n)
+	rng.Read(k)
+	return k
+}
+
+func u64key(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func testEmpty(t *testing.T, mk func(int) index.Index, opts Options) {
+	ix := mk(16)
+	if ix.Len() != 0 {
+		t.Fatal("fresh index not empty")
+	}
+	if _, ok := ix.Get(u64key(42)); ok {
+		t.Fatal("Get on empty index")
+	}
+	if !opts.NoScan {
+		n := ix.Scan(nil, 10, func([]byte, uint64) bool { return true })
+		if n != 0 {
+			t.Fatal("scan on empty index visited keys")
+		}
+	}
+}
+
+func testSetGet(t *testing.T, mk func(int) index.Index, opts Options) {
+	ix := mk(1024)
+	for i := 0; i < 500; i++ {
+		if err := ix.Set(u64key(uint64(i*7)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if v, ok := ix.Get(u64key(uint64(i * 7))); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", i*7, v, ok)
+		}
+	}
+	if _, ok := ix.Get(u64key(1)); ok {
+		t.Fatal("found absent key")
+	}
+	if ix.Len() != 500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func testUpdate(t *testing.T, mk func(int) index.Index, opts Options) {
+	ix := mk(64)
+	k := u64key(99)
+	ix.Set(k, 1)
+	ix.Set(k, 2)
+	if v, _ := ix.Get(k); v != 2 {
+		t.Fatalf("update: v = %d", v)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after update", ix.Len())
+	}
+}
+
+func testRandomModel(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(42))
+	ix := mk(1 << 14)
+	model := map[string]uint64{}
+	for i := 0; i < 10000; i++ {
+		k := opts.key(rng)
+		model[string(k)] = uint64(i)
+		if err := ix.Set(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", ix.Len(), len(model))
+	}
+	for k, v := range model {
+		if got, ok := ix.Get([]byte(k)); !ok || got != v {
+			t.Fatalf("Get(%x) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func testScanOrder(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(43))
+	ix := mk(1 << 13)
+	model := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := opts.key(rng)
+		model[string(k)] = uint64(i)
+		ix.Set(k, uint64(i))
+	}
+	var want []string
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	ix.Scan(nil, 1<<30, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan: %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+func testScanBounds(t *testing.T, mk func(int) index.Index, opts Options) {
+	ix := mk(1 << 10)
+	for i := 0; i < 100; i++ {
+		ix.Set(u64key(uint64(i*2)), uint64(i*2))
+	}
+	var got []uint64
+	ix.Scan(u64key(31), 5, func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []uint64{32, 34, 36, 38, 40}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("bounded scan = %v, want %v", got, want)
+	}
+	// Early stop.
+	n := ix.Scan(nil, 100, func(k []byte, v uint64) bool { return v < 10 })
+	if n != 6 {
+		t.Fatalf("early-stop visited %d, want 6", n)
+	}
+}
+
+func testDelete(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(44))
+	ix := mk(1 << 12)
+	model := map[string]uint64{}
+	var live []string
+	for i := 0; i < 4000; i++ {
+		if len(live) == 0 || rng.Intn(10) < 6 {
+			k := opts.key(rng)
+			if _, dup := model[string(k)]; dup {
+				continue
+			}
+			ix.Set(k, uint64(i))
+			model[string(k)] = uint64(i)
+			live = append(live, string(k))
+		} else {
+			j := rng.Intn(len(live))
+			k := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !ix.Delete([]byte(k)) {
+				t.Fatalf("Delete(%x) failed for live key", k)
+			}
+			delete(model, k)
+		}
+	}
+	if ix.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", ix.Len(), len(model))
+	}
+	for k, v := range model {
+		if got, ok := ix.Get([]byte(k)); !ok || got != v {
+			t.Fatalf("Get(%x) after churn = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if !opts.NoScan {
+		var prev []byte
+		ix.Scan(nil, 1<<30, func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("scan disorder after deletes")
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+	}
+}
+
+func testMemory(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(45))
+	ix := mk(1 << 13)
+	for i := 0; i < 8000; i++ {
+		ix.Set(opts.key(rng), uint64(i))
+	}
+	m := ix.MemoryOverheadBytes()
+	if m <= 0 {
+		t.Fatal("no memory accounting")
+	}
+	perKey := float64(m) / float64(ix.Len())
+	if perKey < 4 || perKey > 2000 {
+		t.Fatalf("implausible bytes/key %.1f", perKey)
+	}
+	if ix.Name() == "" {
+		t.Fatal("index has no name")
+	}
+}

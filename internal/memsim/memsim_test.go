@@ -1,0 +1,75 @@
+package memsim
+
+import "testing"
+
+func lines(addrs ...uint64) []uint64 { return addrs }
+
+func TestSerialVsPrefetched(t *testing.T) {
+	// 8 levels, 2 lines each, all cold: serial pays one DRAM latency per
+	// level; prefetched overlaps everything up to the MSHR limit.
+	var levels [][]uint64
+	for i := 0; i < 8; i++ {
+		levels = append(levels, lines(uint64(1000+i*2), uint64(1001+i*2)))
+	}
+	cfg := Default()
+	cfg.CacheLines = 1 // effectively no cache
+	serial := New(cfg).Run(SerialLevels(levels, 10))
+	pref := New(cfg).Run(PrefetchedLevels(levels, 5, 10))
+	if serial.DRAMAccesses != 16 || pref.DRAMAccesses != 16 {
+		t.Fatalf("DRAM accesses: serial %d, prefetched %d, want 16", serial.DRAMAccesses, pref.DRAMAccesses)
+	}
+	if serial.StallCycles < 8*cfg.DRAMLatency-cfg.DRAMLatency/2 {
+		t.Fatalf("serial stall %d too low for 8 dependent levels", serial.StallCycles)
+	}
+	if pref.Cycles >= serial.Cycles {
+		t.Fatalf("prefetched (%d cycles) not faster than serial (%d)", pref.Cycles, serial.Cycles)
+	}
+	// The headline Figure 2 property: effective latency ratio ≈ overlap factor.
+	effSerial := float64(serial.StallCycles) / float64(serial.DRAMAccesses)
+	effPref := float64(pref.StallCycles) / float64(pref.DRAMAccesses)
+	if effPref*2 > effSerial {
+		t.Fatalf("effective latency: prefetched %.1f vs serial %.1f, want >=2x gap", effPref, effSerial)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	// 24 independent accesses with 2 MSHRs must take ≥ 12 DRAM latencies.
+	cfg := Default()
+	cfg.MSHRs = 2
+	cfg.CacheLines = 1
+	var acc []Access
+	for i := 0; i < 24; i++ {
+		acc = append(acc, Access{Addr: uint64(5000 + i)})
+	}
+	r := New(cfg).Run(acc)
+	if r.StallCycles < 12*cfg.DRAMLatency-cfg.DRAMLatency {
+		t.Fatalf("stall %d violates MSHR limit", r.StallCycles)
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	cfg := Default()
+	sim := New(cfg)
+	acc := []Access{{Addr: 1}, {Addr: 2}}
+	first := sim.Run(acc)
+	second := sim.Run(acc)
+	if first.DRAMAccesses != 2 || second.DRAMAccesses != 0 || second.LLCHits != 2 {
+		t.Fatalf("cache behaviour wrong: first %+v second %+v", first, second)
+	}
+	if second.Cycles >= first.Cycles {
+		t.Fatal("cached run not faster")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var agg Aggregate
+	agg.Add(Result{Cycles: 100, ExecCycles: 40, StallCycles: 60, DRAMAccesses: 3})
+	agg.Add(Result{Cycles: 200, ExecCycles: 60, StallCycles: 140, DRAMAccesses: 7})
+	cyc, exec, stall, dram := agg.PerOp()
+	if cyc != 150 || exec != 50 || stall != 100 || dram != 5 {
+		t.Fatalf("PerOp = %v %v %v %v", cyc, exec, stall, dram)
+	}
+	if agg.EffectiveDRAMLatency() != 20 {
+		t.Fatalf("eff latency = %v", agg.EffectiveDRAMLatency())
+	}
+}

@@ -1,0 +1,259 @@
+// Package miniredis is a small Redis-like in-memory data store over RESP,
+// reproducing the paper's full-system benchmark (§6.8, Figure 13): its
+// sorted-set type has a pluggable ordered-index engine, so the Cuckoo Trie
+// and every baseline can replace Redis's default hashtable+skiplist pair.
+// The client and server run over loopback TCP, and per-element work during
+// scans happens in the server loop — which is exactly the setting where the
+// Cuckoo Trie's next-leaf prefetch overlaps with system work (§4.4).
+//
+// Commands: PING, ZADD key member value, ZSCORE key member,
+// ZRANGEBYLEX key start count, ZREM key member, DBSIZE, FLUSHALL.
+package miniredis
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/resp"
+)
+
+// Engine names a sorted-set index implementation.
+type Engine string
+
+// EngineFactory creates an index for a sorted set.
+type EngineFactory func(capacityHint int) index.Index
+
+// Server is the mini-Redis server.
+type Server struct {
+	mu       sync.Mutex
+	factory  EngineFactory
+	capacity int
+	sets     map[string]index.Index
+	ln       net.Listener
+	wg       sync.WaitGroup
+	serial   bool // single-threaded command execution (Redis's model)
+	cmdMu    sync.Mutex
+}
+
+// NewServer creates a server whose sorted sets use the given engine.
+// serial mimics Redis's single-threaded command loop; with serial=false,
+// connections execute commands concurrently (safe only for concurrent-safe
+// engines).
+func NewServer(factory EngineFactory, capacityHint int, serial bool) *Server {
+	return &Server{
+		factory:  factory,
+		capacity: capacityHint,
+		sets:     make(map[string]index.Index),
+		serial:   serial,
+	}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and waits for connections to drain.
+func (s *Server) Close() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) set(key string) index.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix, ok := s.sets[key]
+	if !ok {
+		ix = s.factory(s.capacity)
+		s.sets[key] = ix
+	}
+	return ix
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	for {
+		cmd, err := r.ReadCommand()
+		if err != nil {
+			w.Flush()
+			return
+		}
+		s.dispatch(w, cmd)
+		// Flush when no more pipelined commands are pending is handled by
+		// flushing after every dispatch batch; bufio keeps this cheap.
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w *resp.Writer, cmd [][]byte) {
+	if len(cmd) == 0 {
+		w.WriteError("empty command")
+		return
+	}
+	if s.serial {
+		s.cmdMu.Lock()
+		defer s.cmdMu.Unlock()
+	}
+	var sink uint64
+	switch strings.ToUpper(string(cmd[0])) {
+	case "PING":
+		w.WriteSimple("PONG")
+	case "ZADD":
+		if len(cmd) != 4 {
+			w.WriteError("wrong number of arguments for ZADD")
+			return
+		}
+		v, err := strconv.ParseUint(string(cmd[3]), 10, 64)
+		if err != nil {
+			w.WriteError("value is not an integer")
+			return
+		}
+		if err := s.set(string(cmd[1])).Set(cmd[2], v); err != nil {
+			w.WriteError(err.Error())
+			return
+		}
+		w.WriteInt(1)
+	case "ZSCORE":
+		if len(cmd) != 3 {
+			w.WriteError("wrong number of arguments for ZSCORE")
+			return
+		}
+		v, ok := s.set(string(cmd[1])).Get(cmd[2])
+		if !ok {
+			w.WriteBulk(nil)
+			return
+		}
+		w.WriteBulk([]byte(strconv.FormatUint(v, 10)))
+	case "ZREM":
+		if len(cmd) != 3 {
+			w.WriteError("wrong number of arguments for ZREM")
+			return
+		}
+		if s.set(string(cmd[1])).Delete(cmd[2]) {
+			w.WriteInt(1)
+		} else {
+			w.WriteInt(0)
+		}
+	case "ZRANGEBYLEX":
+		// ZRANGEBYLEX key start count — scan `count` members ≥ start.
+		if len(cmd) != 4 {
+			w.WriteError("wrong number of arguments for ZRANGEBYLEX")
+			return
+		}
+		count, err := strconv.Atoi(string(cmd[3]))
+		if err != nil || count < 0 {
+			w.WriteError("count is not an integer")
+			return
+		}
+		var members [][]byte
+		s.set(string(cmd[1])).Scan(cmd[2], count, func(k []byte, v uint64) bool {
+			// Per-element system work: copy the member for the reply (the
+			// work that §4.4's next-leaf prefetch overlaps with).
+			members = append(members, append([]byte(nil), k...))
+			sink += v
+			return true
+		})
+		w.WriteArrayHeader(len(members))
+		for _, m := range members {
+			w.WriteBulk(m)
+		}
+	case "DBSIZE":
+		s.mu.Lock()
+		total := 0
+		for _, ix := range s.sets {
+			total += ix.Len()
+		}
+		s.mu.Unlock()
+		w.WriteInt(int64(total))
+	case "FLUSHALL":
+		s.mu.Lock()
+		s.sets = make(map[string]index.Index)
+		s.mu.Unlock()
+		w.WriteSimple("OK")
+	default:
+		w.WriteError(fmt.Sprintf("unknown command '%s'", cmd[0]))
+	}
+	_ = sink
+}
+
+// Client is a minimal pipelining RESP client for the benchmarks.
+type Client struct {
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+// Dial connects to a mini-Redis server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() { c.conn.Close() }
+
+// Do sends one command and reads its reply.
+func (c *Client) Do(args ...[]byte) (interface{}, error) {
+	if err := c.w.WriteCommand(args...); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	return c.r.ReadReply()
+}
+
+// Pipeline sends a batch of commands and reads all replies.
+func (c *Client) Pipeline(cmds [][][]byte) ([]interface{}, error) {
+	for _, cmd := range cmds {
+		if err := c.w.WriteCommand(cmd...); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]interface{}, 0, len(cmds))
+	for range cmds {
+		v, err := c.r.ReadReply()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package miniredis
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/skiplist"
+)
+
+func newTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(func(c int) index.Index { return skiplist.New(1) }, 64, true)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close(); srv.Close() })
+	return srv, cl
+}
+
+func TestPingAndBasicOps(t *testing.T) {
+	_, cl := newTestServer(t)
+	if r, err := cl.Do([]byte("PING")); err != nil || r != "PONG" {
+		t.Fatalf("PING = %v, %v", r, err)
+	}
+	if r, _ := cl.Do([]byte("ZADD"), []byte("s"), []byte("alice"), []byte("7")); r != int64(1) {
+		t.Fatalf("ZADD = %v", r)
+	}
+	if r, _ := cl.Do([]byte("ZSCORE"), []byte("s"), []byte("alice")); string(r.([]byte)) != "7" {
+		t.Fatalf("ZSCORE = %v", r)
+	}
+	if r, _ := cl.Do([]byte("ZSCORE"), []byte("s"), []byte("bob")); r.([]byte) != nil {
+		t.Fatalf("ZSCORE absent = %v", r)
+	}
+	if r, _ := cl.Do([]byte("DBSIZE")); r != int64(1) {
+		t.Fatalf("DBSIZE = %v", r)
+	}
+	if r, _ := cl.Do([]byte("ZREM"), []byte("s"), []byte("alice")); r != int64(1) {
+		t.Fatalf("ZREM = %v", r)
+	}
+	if r, _ := cl.Do([]byte("DBSIZE")); r != int64(0) {
+		t.Fatalf("DBSIZE after ZREM = %v", r)
+	}
+}
+
+func TestRangeAndPipeline(t *testing.T) {
+	_, cl := newTestServer(t)
+	var cmds [][][]byte
+	for i := 0; i < 50; i++ {
+		cmds = append(cmds, [][]byte{
+			[]byte("ZADD"), []byte("s"), []byte(fmt.Sprintf("m%03d", i)), []byte(fmt.Sprint(i)),
+		})
+	}
+	replies, err := cl.Pipeline(cmds)
+	if err != nil || len(replies) != 50 {
+		t.Fatalf("pipeline: %d replies, err %v", len(replies), err)
+	}
+	r, err := cl.Do([]byte("ZRANGEBYLEX"), []byte("s"), []byte("m010"), []byte("5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := r.([]interface{})
+	if len(arr) != 5 {
+		t.Fatalf("range returned %d members", len(arr))
+	}
+	for i, m := range arr {
+		want := fmt.Sprintf("m%03d", 10+i)
+		if string(m.([]byte)) != want {
+			t.Fatalf("range[%d] = %s, want %s", i, m, want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, cl := newTestServer(t)
+	if r, _ := cl.Do([]byte("NOPE")); fmt.Sprint(r) == "" {
+		t.Fatal("expected error reply")
+	}
+	if r, _ := cl.Do([]byte("ZADD"), []byte("s")); fmt.Sprint(r) == "" {
+		t.Fatal("expected arity error")
+	}
+	if r, _ := cl.Do([]byte("ZADD"), []byte("s"), []byte("m"), []byte("notanint")); fmt.Sprint(r) == "" {
+		t.Fatal("expected parse error")
+	}
+	// Connection still usable after errors.
+	if r, err := cl.Do([]byte("PING")); err != nil || r != "PONG" {
+		t.Fatalf("PING after errors = %v, %v", r, err)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	_, cl := newTestServer(t)
+	cl.Do([]byte("ZADD"), []byte("s"), []byte("x"), []byte("1"))
+	cl.Do([]byte("FLUSHALL"))
+	if r, _ := cl.Do([]byte("DBSIZE")); r != int64(0) {
+		t.Fatalf("DBSIZE after FLUSHALL = %v", r)
+	}
+}

@@ -1,0 +1,182 @@
+// Package mlpindex reimplements MlpIndex (Xu, 2018), the only prior
+// MLP-aware index the paper compares against (§6.7): a hashed trie
+// representation that stores FULL keys in its hash table entries rather than
+// using key elimination. Consequently it supports only fixed 8-byte keys,
+// has no range scans and no concurrency — and uses roughly 3× the Cuckoo
+// Trie's memory, which is exactly the trade-off Figure 12 shows.
+//
+// Lookups probe the full key's entry directly (one hash probe, the keys are
+// embedded in the leaves, saving the Cuckoo Trie's record dereference —
+// which is why MlpIndex wins Figure 12's speed panels). Inserts maintain
+// entries for every key prefix with per-node child bitmaps, the
+// memory-hungry part.
+package mlpindex
+
+import "errors"
+
+// KeyLen is the only supported key length.
+const KeyLen = 8
+
+// ErrBadKeyLen is returned for keys that are not exactly 8 bytes.
+var ErrBadKeyLen = errors.New("mlpindex: only 8-byte keys are supported")
+
+// entry is an open-addressing hash table slot holding one trie node with
+// its full (prefix) key embedded — no key elimination.
+type entry struct {
+	used     bool
+	isLeaf   bool
+	plen     uint8     // prefix length in bytes (1..8)
+	prefix   [8]byte   // full embedded prefix
+	children [4]uint64 // child bitmap over the next byte (non-leaf)
+	value    uint64    // leaf value
+}
+
+// Index is a single-threaded MLP-aware hashed trie for 8-byte keys.
+type Index struct {
+	tab  []entry
+	mask uint64
+	size int
+	used int
+}
+
+// New creates an index sized for capacity keys. MlpIndex tables are sized
+// up-front, like the paper's runs ("each index is initialized to the
+// minimal size that allows loading the dataset", §6.7).
+func New(capacity int) *Index {
+	// ~8 prefix nodes per key in the worst case; random 8-byte keys share
+	// prefixes heavily at the top, so ~2.5 slots per key suffices at a
+	// comfortable load factor.
+	want := float64(capacity) * 3.5
+	n := uint64(1024)
+	for float64(n) < want {
+		n <<= 1
+	}
+	return &Index{tab: make([]entry, n), mask: n - 1}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "MlpIndex" }
+
+// Len returns the number of stored keys.
+func (ix *Index) Len() int { return ix.size }
+
+func hash(p []byte) uint64 {
+	// FNV-1a over the prefix, mixed; cheap and adequate for table probing.
+	h := uint64(1469598103934665603)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(len(p)) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// slotFor finds the slot for prefix p (linear probing). Returns the slot
+// index and whether it is occupied by p.
+func (ix *Index) slotFor(p []byte) (uint64, bool) {
+	i := hash(p) & ix.mask
+	for {
+		e := &ix.tab[i]
+		if !e.used {
+			return i, false
+		}
+		if int(e.plen) == len(p) && matches(e, p) {
+			return i, true
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+func matches(e *entry, p []byte) bool {
+	for j := range p {
+		if e.prefix[j] != p[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value stored for key. A single direct probe of the full
+// key's entry suffices: the hashed representation needs no descent, and the
+// embedded key avoids the pointer dereference the Cuckoo Trie pays (§6.7).
+func (ix *Index) Get(key []byte) (uint64, bool) {
+	if len(key) != KeyLen {
+		return 0, false
+	}
+	i, ok := ix.slotFor(key)
+	if !ok || !ix.tab[i].isLeaf {
+		return 0, false
+	}
+	return ix.tab[i].value, true
+}
+
+// Set inserts or updates key, creating prefix nodes along the path.
+func (ix *Index) Set(key []byte, value uint64) error {
+	if len(key) != KeyLen {
+		return ErrBadKeyLen
+	}
+	if ix.used*10 >= len(ix.tab)*9 {
+		ix.grow()
+	}
+	i, ok := ix.slotFor(key)
+	if ok {
+		ix.tab[i].value = value
+		return nil
+	}
+	e := &ix.tab[i]
+	e.used = true
+	e.isLeaf = true
+	e.plen = KeyLen
+	copy(e.prefix[:], key)
+	e.value = value
+	ix.used++
+	ix.size++
+	// Create/extend prefix nodes with child bitmaps.
+	for l := KeyLen - 1; l >= 1; l-- {
+		j, exists := ix.slotFor(key[:l])
+		pe := &ix.tab[j]
+		nb := key[l]
+		if exists {
+			pe.children[nb>>6] |= 1 << (nb & 63)
+			return nil // all shorter prefixes already exist
+		}
+		pe.used = true
+		pe.plen = uint8(l)
+		copy(pe.prefix[:], key[:l])
+		pe.children[nb>>6] |= 1 << (nb & 63)
+		ix.used++
+	}
+	return nil
+}
+
+func (ix *Index) grow() {
+	old := ix.tab
+	ix.tab = make([]entry, len(old)*2)
+	ix.mask = uint64(len(ix.tab) - 1)
+	ix.used = 0
+	for k := range old {
+		if !old[k].used {
+			continue
+		}
+		i, _ := ix.slotFor(old[k].prefix[:old[k].plen])
+		ix.tab[i] = old[k]
+		ix.used++
+	}
+}
+
+// Delete is unsupported (as in the original MlpIndex).
+func (ix *Index) Delete(key []byte) bool { return false }
+
+// Scan is unsupported: MlpIndex has no range queries (§6.7).
+func (ix *Index) Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int {
+	return 0
+}
+
+// MemoryOverheadBytes reports the table footprint: large fixed-size entries
+// with embedded keys and 256-way bitmaps — ≈3× the Cuckoo Trie (Figure 12).
+func (ix *Index) MemoryOverheadBytes() int64 {
+	return int64(len(ix.tab)) * 56
+}

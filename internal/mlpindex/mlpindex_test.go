@@ -1,0 +1,45 @@
+package mlpindex_test
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/mlpindex"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return mlpindex.New(capacity) },
+		indextest.Options{FixedKeyLen: 8, NoScan: true, NoDelete: true})
+}
+
+func TestRejectsBadKeyLength(t *testing.T) {
+	ix := mlpindex.New(64)
+	if err := ix.Set([]byte("short"), 1); err != mlpindex.ErrBadKeyLen {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := ix.Get([]byte("short")); ok {
+		t.Fatal("found bad-length key")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	ix := mlpindex.New(16) // deliberately undersized: must grow
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 20000)
+	for i := range keys {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], rng.Uint64())
+		keys[i] = k[:]
+		if err := ix.Set(k[:], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get after growth = %d,%v want %d", v, ok, i)
+		}
+	}
+}

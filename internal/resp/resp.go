@@ -1,0 +1,200 @@
+// Package resp implements the RESP2 wire protocol (the Redis serialization
+// protocol) used by the full-system benchmark (§6.8): enough of the protocol
+// to run YCSB-style workloads against the mini-Redis server over loopback
+// TCP with pipelining.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ErrProtocol reports malformed input.
+var ErrProtocol = errors.New("resp: protocol error")
+
+// Reader decodes RESP values.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 64<<10)} }
+
+// ReadCommand reads a client command: an array of bulk strings.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, ErrProtocol
+	}
+	if line[0] != '*' {
+		// Inline command (space-separated), supported for debugging.
+		var parts [][]byte
+		cur := []byte{}
+		for _, c := range line[:] {
+			if c == ' ' {
+				if len(cur) > 0 {
+					parts = append(parts, cur)
+					cur = []byte{}
+				}
+				continue
+			}
+			cur = append(cur, c)
+		}
+		if len(cur) > 0 {
+			parts = append(parts, cur)
+		}
+		return parts, nil
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 || n > 1024 {
+		return nil, ErrProtocol
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := r.readBulk()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, ErrProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+func (r *Reader) readBulk() ([]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, ErrProtocol
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil {
+		return nil, ErrProtocol
+	}
+	if n < 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, ErrProtocol
+	}
+	return buf[:n], nil
+}
+
+// ReadReply reads one server reply, returning it as one of:
+// string (simple), error, int64, []byte (bulk, nil for null), or
+// []interface{} (array).
+func (r *Reader) ReadReply() (interface{}, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, ErrProtocol
+	}
+	switch line[0] {
+	case '+':
+		return string(line[1:]), nil
+	case '-':
+		return errors.New(string(line[1:])), nil
+	case ':':
+		return strconv.ParseInt(string(line[1:]), 10, 64)
+	case '$':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil {
+			return nil, ErrProtocol
+		}
+		if n < 0 {
+			return []byte(nil), nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
+		}
+		return buf[:n], nil
+	case '*':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil {
+			return nil, ErrProtocol
+		}
+		if n < 0 {
+			return []interface{}(nil), nil
+		}
+		out := make([]interface{}, 0, n)
+		for i := 0; i < n; i++ {
+			v, err := r.ReadReply()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return nil, ErrProtocol
+}
+
+// Writer encodes RESP values with buffering; call Flush after a pipeline.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriterSize(w, 64<<10)} }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteCommand encodes a command as an array of bulk strings.
+func (w *Writer) WriteCommand(args ...[]byte) error {
+	fmt.Fprintf(w.bw, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(w.bw, "$%d\r\n", len(a))
+		w.bw.Write(a)
+		w.bw.WriteString("\r\n")
+	}
+	return nil
+}
+
+// WriteSimple writes a +OK style reply.
+func (w *Writer) WriteSimple(s string) { fmt.Fprintf(w.bw, "+%s\r\n", s) }
+
+// WriteError writes an -ERR reply.
+func (w *Writer) WriteError(s string) { fmt.Fprintf(w.bw, "-ERR %s\r\n", s) }
+
+// WriteInt writes an integer reply.
+func (w *Writer) WriteInt(v int64) { fmt.Fprintf(w.bw, ":%d\r\n", v) }
+
+// WriteBulk writes a bulk string (nil → null).
+func (w *Writer) WriteBulk(b []byte) {
+	if b == nil {
+		w.bw.WriteString("$-1\r\n")
+		return
+	}
+	fmt.Fprintf(w.bw, "$%d\r\n", len(b))
+	w.bw.Write(b)
+	w.bw.WriteString("\r\n")
+}
+
+// WriteArrayHeader begins an array reply of n elements.
+func (w *Writer) WriteArrayHeader(n int) { fmt.Fprintf(w.bw, "*%d\r\n", n) }

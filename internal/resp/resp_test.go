@@ -1,0 +1,76 @@
+package resp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteCommand([]byte("ZADD"), []byte("key"), []byte("member with spaces"), []byte("42"))
+	w.Flush()
+	r := NewReader(&buf)
+	cmd, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmd) != 4 || string(cmd[0]) != "ZADD" || string(cmd[2]) != "member with spaces" {
+		t.Fatalf("cmd = %q", cmd)
+	}
+}
+
+func TestReplyKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteSimple("OK")
+	w.WriteInt(-7)
+	w.WriteBulk([]byte("data"))
+	w.WriteBulk(nil)
+	w.WriteArrayHeader(2)
+	w.WriteBulk([]byte("a"))
+	w.WriteInt(1)
+	w.WriteError("boom")
+	w.Flush()
+	r := NewReader(&buf)
+	if v, _ := r.ReadReply(); v != "OK" {
+		t.Fatalf("simple = %v", v)
+	}
+	if v, _ := r.ReadReply(); v != int64(-7) {
+		t.Fatalf("int = %v", v)
+	}
+	if v, _ := r.ReadReply(); string(v.([]byte)) != "data" {
+		t.Fatalf("bulk = %v", v)
+	}
+	if v, _ := r.ReadReply(); v.([]byte) != nil {
+		t.Fatalf("null bulk = %v", v)
+	}
+	if v, _ := r.ReadReply(); len(v.([]interface{})) != 2 {
+		t.Fatalf("array = %v", v)
+	}
+	if v, _ := r.ReadReply(); v.(error).Error() != "ERR boom" {
+		t.Fatalf("error = %v", v)
+	}
+}
+
+func TestBinarySafety(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payload := []byte{0, 1, 2, '\r', '\n', 0xff}
+	w.WriteCommand([]byte("SET"), payload)
+	w.Flush()
+	r := NewReader(&buf)
+	cmd, err := r.ReadCommand()
+	if err != nil || !bytes.Equal(cmd[1], payload) {
+		t.Fatalf("binary payload mangled: %q, %v", cmd, err)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	for _, in := range []string{"*2\r\n$1\r\na\r\n", "*1\r\n$5\r\nab\r\n", "*x\r\n"} {
+		r := NewReader(bytes.NewBufferString(in))
+		if _, err := r.ReadCommand(); err == nil {
+			t.Fatalf("no error for %q", in)
+		}
+	}
+}

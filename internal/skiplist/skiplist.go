@@ -1,0 +1,146 @@
+// Package skiplist implements Pugh's skip list, the engine behind Redis's
+// default sorted set (paper §6.8: "Redis' implementation uses a hash table
+// for point lookups and a skip list for range scans"). Single-threaded,
+// like Redis's event loop.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const (
+	maxLevel = 32
+	pBranch  = 4 // 1/p = 1/4, Redis's setting
+)
+
+type node struct {
+	key  []byte
+	val  uint64
+	next []*node
+}
+
+// List is an ordered map from byte-string keys to uint64 values.
+type List struct {
+	head  *node
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+// New creates an empty skip list.
+func New(seed int64) *List {
+	return &List{
+		head:  &node{next: make([]*node, maxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements index.Index.
+func (l *List) Name() string { return "SkipList" }
+
+// Len returns the number of stored keys.
+func (l *List) Len() int { return l.size }
+
+func (l *List) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && l.rng.Intn(pBranch) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findGE walks to the last node before key at every level, filling update.
+func (l *List) findGE(key []byte, update []*node) *node {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		if update != nil {
+			update[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value stored for key.
+func (l *List) Get(key []byte) (uint64, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.val, true
+	}
+	return 0, false
+}
+
+// Set inserts or updates key.
+func (l *List) Set(key []byte, value uint64) error {
+	var update [maxLevel]*node
+	for i := range update {
+		update[i] = l.head
+	}
+	n := l.findGE(key, update[:])
+	if n != nil && bytes.Equal(n.key, key) {
+		n.val = value
+		return nil
+	}
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		l.level = lvl
+	}
+	nn := &node{key: append([]byte(nil), key...), val: value, next: make([]*node, lvl)}
+	for i := 0; i < lvl; i++ {
+		nn.next[i] = update[i].next[i]
+		update[i].next[i] = nn
+	}
+	l.size++
+	return nil
+}
+
+// Delete removes key.
+func (l *List) Delete(key []byte) bool {
+	var update [maxLevel]*node
+	for i := range update {
+		update[i] = l.head
+	}
+	n := l.findGE(key, update[:])
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	l.size--
+	return true
+}
+
+// Scan visits up to n keys ≥ start in order.
+func (l *List) Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int {
+	x := l.findGE(start, nil)
+	visited := 0
+	for x != nil && visited < n {
+		visited++
+		if !fn(x.key, x.val) {
+			break
+		}
+		x = x.next[0]
+	}
+	return visited
+}
+
+// MemoryOverheadBytes counts node structures and tower pointers, excluding
+// key bytes.
+func (l *List) MemoryOverheadBytes() int64 {
+	var total int64
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		// node struct (key header 24 + val 8 + slice header 24) + tower.
+		total += 56 + int64(cap(x.next))*8
+	}
+	return total
+}

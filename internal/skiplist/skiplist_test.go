@@ -1,0 +1,30 @@
+package skiplist_test
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/skiplist"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return skiplist.New(3) }, indextest.Options{})
+}
+
+func TestLevelDistribution(t *testing.T) {
+	l := skiplist.New(5)
+	for i := 0; i < 10000; i++ {
+		l.Set([]byte{byte(i >> 8), byte(i)}, uint64(i))
+	}
+	if l.Len() != 10000 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	m := l.MemoryOverheadBytes()
+	// Expected tower height 1/(1-1/4) = 1.33 pointers/node: memory should be
+	// within sane bounds of that.
+	perKey := float64(m) / 10000
+	if perKey < 56 || perKey > 120 {
+		t.Fatalf("bytes/key %.1f out of expected skiplist range", perKey)
+	}
+}

@@ -1,0 +1,41 @@
+package wormhole
+
+import "reflect"
+
+// LookupLevels models Wormhole's lookup memory behaviour: a binary search
+// over prefix LENGTHS — each probe is a hash-table access whose target
+// depends on the previous probe's outcome, so the ~log2(L) probes are
+// serial — followed by a binary search inside the multi-key leaf.
+func (t *Index) LookupLevels(key []byte) [][]uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var levels [][]uint64
+	lo, hi := 0, len(key)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		p := string(key[:mid])
+		// Address: identity of the meta node (or a synthetic miss address).
+		if node, ok := t.meta[p]; ok {
+			levels = append(levels, []uint64{uint64(reflect.ValueOf(node).Pointer()) / 64})
+			lo = mid
+		} else {
+			levels = append(levels, []uint64{0x2_0000_0000 + hashAddr(p)})
+			hi = mid - 1
+		}
+	}
+	l := t.findLeaf(key)
+	if l != nil {
+		addr := uint64(reflect.ValueOf(l).Pointer())
+		levels = append(levels, []uint64{addr / 64, addr/64 + 5, addr/64 + 11, addr/64 + 17})
+	}
+	return levels
+}
+
+func hashAddr(p string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h % (1 << 24)
+}

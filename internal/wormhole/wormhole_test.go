@@ -1,0 +1,41 @@
+package wormhole_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/wormhole"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func(capacity int) index.Index { return wormhole.New() }, indextest.Options{})
+}
+
+func TestAnchorSplits(t *testing.T) {
+	// Keys with deep shared prefixes force long anchors in the meta-trie.
+	ix := wormhole.New()
+	n := 5000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("shared/prefix/path/%08d", i))
+		if err := ix.Set(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("shared/prefix/path/%08d", i))
+		if v, ok := ix.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%s) = %d,%v", k, v, ok)
+		}
+	}
+	// Ordered scan across many leaves.
+	prev := -1
+	ix.Scan(nil, n, func(k []byte, v uint64) bool {
+		if int(v) <= prev {
+			t.Fatalf("disorder %d after %d", v, prev)
+		}
+		prev = int(v)
+		return true
+	})
+}

@@ -1,0 +1,212 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark workload mixes
+// the paper evaluates (Table 2): LOAD plus workloads A–F, with uniform,
+// zipfian, and latest request distributions. The defaults match the
+// reference YCSB implementation as the paper does (§6.1): uniform query
+// distribution, scan lengths uniform in [1, 100].
+package ycsb
+
+import (
+	"math/rand"
+
+	"repro/internal/index"
+)
+
+// Op is a single workload operation.
+type Op byte
+
+// Operation types.
+const (
+	OpInsert Op = iota
+	OpRead
+	OpUpdate
+	OpScan
+	OpRMW // read-modify-write
+)
+
+// Workload names a YCSB mix.
+type Workload string
+
+// The paper's workloads (Table 2).
+const (
+	Load Workload = "LOAD" // 100% inserts
+	A    Workload = "A"    // 50% reads, 50% updates
+	B    Workload = "B"    // 95% reads, 5% updates
+	C    Workload = "C"    // 100% reads
+	D    Workload = "D"    // 95% reads (latest), 5% inserts
+	E    Workload = "E"    // 95% scans, 5% inserts
+	F    Workload = "F"    // 50% reads, 50% read-modify-writes
+)
+
+// PointWorkloads are the point-operation mixes of Figures 7 and 8.
+var PointWorkloads = []Workload{Load, A, B, C, D, F}
+
+// Distribution selects how read/update targets are drawn.
+type Distribution int
+
+// Request distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	Latest
+)
+
+// Mix returns the operation ratios of a workload.
+func Mix(w Workload) (read, update, insert, scan, rmw float64) {
+	switch w {
+	case Load:
+		return 0, 0, 1, 0, 0
+	case A:
+		return 0.5, 0.5, 0, 0, 0
+	case B:
+		return 0.95, 0.05, 0, 0, 0
+	case C:
+		return 1, 0, 0, 0, 0
+	case D:
+		return 0.95, 0, 0.05, 0, 0
+	case E:
+		return 0, 0, 0.05, 0.95, 0
+	case F:
+		return 0.5, 0, 0, 0, 0.5
+	}
+	panic("ycsb: unknown workload " + string(w))
+}
+
+// Generator produces an operation stream for one worker thread.
+type Generator struct {
+	w        Workload
+	dist     Distribution
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	keys     [][]byte // loaded keys, index [0, loaded)
+	extra    [][]byte // keys available for workload-phase inserts
+	loaded   int
+	inserted int // number of extra keys consumed
+	maxScan  int
+}
+
+// NewGenerator creates a per-thread operation generator. keys[0:loaded] are
+// already in the index; keys[loaded:] feed workload-phase inserts (D and E).
+func NewGenerator(w Workload, dist Distribution, keys [][]byte, loaded int, seed int64) *Generator {
+	g := &Generator{
+		w:       w,
+		dist:    dist,
+		rng:     rand.New(rand.NewSource(seed)),
+		keys:    keys[:loaded],
+		extra:   keys[loaded:],
+		loaded:  loaded,
+		maxScan: 100,
+	}
+	if dist == Zipfian {
+		// YCSB's default zipfian constant is 0.99.
+		g.zipf = rand.NewZipf(g.rng, 1.001, 10, uint64(maxI(loaded-1, 1)))
+	}
+	return g
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pickKey selects a target key per the request distribution.
+func (g *Generator) pickKey() []byte {
+	n := g.loaded
+	if n == 0 {
+		return nil
+	}
+	switch g.dist {
+	case Zipfian:
+		return g.keys[int(g.zipf.Uint64())%n]
+	case Latest:
+		// Cluster on the most recently inserted keys.
+		span := g.inserted
+		if span == 0 {
+			span = n
+		}
+		off := int(float64(span) * g.rng.ExpFloat64() / 4)
+		if off >= span {
+			off = span - 1
+		}
+		if g.inserted > 0 {
+			return g.extra[g.inserted-1-off]
+		}
+		return g.keys[n-1-off%n]
+	default:
+		return g.keys[g.rng.Intn(n)]
+	}
+}
+
+// nextInsertKey returns a fresh key for insert operations.
+func (g *Generator) nextInsertKey() []byte {
+	if g.inserted < len(g.extra) {
+		k := g.extra[g.inserted]
+		g.inserted++
+		return k
+	}
+	// Exhausted the pre-generated pool: synthesize.
+	k := make([]byte, 8)
+	g.rng.Read(k)
+	return k
+}
+
+// Next returns the next operation: its type, target key, and scan length.
+func (g *Generator) Next() (Op, []byte, int) {
+	read, update, insert, scan, _ := Mix(g.w)
+	r := g.rng.Float64()
+	switch {
+	case r < insert:
+		return OpInsert, g.nextInsertKey(), 0
+	case r < insert+read:
+		return OpRead, g.pickKey(), 0
+	case r < insert+read+update:
+		return OpUpdate, g.pickKey(), 0
+	case r < insert+read+update+scan:
+		return OpScan, g.pickKey(), 1 + g.rng.Intn(g.maxScan)
+	default:
+		return OpRMW, g.pickKey(), 0
+	}
+}
+
+// Run executes ops operations against ix and returns the number completed.
+// The scan callback touches each element, modeling YCSB's row decoding.
+func (g *Generator) Run(ix index.Index, ops int) int {
+	var sink uint64
+	done := 0
+	for i := 0; i < ops; i++ {
+		op, key, scanLen := g.Next()
+		if key == nil {
+			continue
+		}
+		switch op {
+		case OpInsert:
+			if ix.Set(key, uint64(i)) != nil {
+				return done
+			}
+		case OpRead:
+			v, _ := ix.Get(key)
+			sink += v
+		case OpUpdate:
+			if ix.Set(key, uint64(i)) != nil {
+				return done
+			}
+		case OpScan:
+			ix.Scan(key, scanLen, func(k []byte, v uint64) bool {
+				sink += v + uint64(len(k))
+				return true
+			})
+		case OpRMW:
+			v, _ := ix.Get(key)
+			if ix.Set(key, v+1) != nil {
+				return done
+			}
+		}
+		done++
+	}
+	sinkVar += sink
+	return done
+}
+
+// sinkVar defeats dead-code elimination of benchmark reads.
+var sinkVar uint64

@@ -1,0 +1,65 @@
+package ycsb
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/skiplist"
+)
+
+func TestMixesSumToOne(t *testing.T) {
+	for _, w := range []Workload{Load, A, B, C, D, E, F} {
+		r, u, i, s, m := Mix(w)
+		if sum := r + u + i + s + m; sum < 0.999 || sum > 1.001 {
+			t.Fatalf("workload %s ratios sum to %f", w, sum)
+		}
+	}
+}
+
+func TestOperationRatios(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 2000, 1)
+	g := NewGenerator(B, Uniform, keys, 1800, 9)
+	counts := map[Op]int{}
+	for i := 0; i < 20000; i++ {
+		op, _, _ := g.Next()
+		counts[op]++
+	}
+	reads := float64(counts[OpRead]) / 20000
+	if reads < 0.92 || reads > 0.98 {
+		t.Fatalf("YCSB-B read ratio %.3f, want ~0.95", reads)
+	}
+}
+
+func TestRunAgainstIndex(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 3000, 2)
+	for _, w := range []Workload{A, B, C, D, E, F} {
+		ix := skiplist.New(1)
+		loaded := 2500
+		for i := 0; i < loaded; i++ {
+			ix.Set(keys[i], uint64(i))
+		}
+		g := NewGenerator(w, Uniform, keys, loaded, 3)
+		if done := g.Run(ix, 5000); done != 5000 {
+			t.Fatalf("workload %s completed %d/5000 ops", w, done)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 1000, 3)
+	g := NewGenerator(C, Zipfian, keys, 1000, 4)
+	counts := map[string]int{}
+	for i := 0; i < 50000; i++ {
+		_, k, _ := g.Next()
+		counts[string(k)]++
+	}
+	maxN := 0
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN < 50000/1000*5 {
+		t.Fatalf("zipfian max key count %d shows no skew", maxN)
+	}
+}
