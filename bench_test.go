@@ -85,13 +85,17 @@ func BenchmarkAblations(b *testing.B) {
 	runFigure(b, func(o bench.Options) { bench.Ablation(os.Stdout, o) })
 }
 
+func BenchmarkMultiGetFigure(b *testing.B) {
+	runFigure(b, func(o bench.Options) { bench.MultiGetBench(os.Stdout, o) })
+}
+
 // --- micro-benchmarks on the Cuckoo Trie hot paths ---
 
 func newLoadedTrie(n int) (*cuckootrie.Trie, [][]byte) {
 	ks := dataset.Generate(dataset.Rand8, n, 3)
 	t := cuckootrie.New(cuckootrie.Config{CapacityHint: n, AutoResize: true})
 	for i, k := range ks {
-		if err := t.Set(k, uint64(i)); err != nil {
+		if _, err := t.Set(k, uint64(i)); err != nil {
 			panic(err)
 		}
 	}
@@ -111,6 +115,35 @@ func BenchmarkTrieGet(b *testing.B) {
 	}
 	if hits == 0 {
 		b.Fatal("no hits")
+	}
+}
+
+// BenchmarkMultiGet exercises core's interleaved batch lookup path at the
+// batch sizes of the MLP experiment: batch=1 is the degenerate (single-Get)
+// baseline; larger batches let the staged probes' DRAM misses overlap.
+func BenchmarkMultiGet(b *testing.B) {
+	t, ks := newLoadedTrie(1 << 18)
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			kbuf := make([][]byte, batch)
+			vals := make([]uint64, batch)
+			found := make([]bool, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				for j := 0; j < batch; j++ {
+					kbuf[j] = ks[rng.Intn(len(ks))]
+				}
+				t.MultiGet(kbuf, vals, found)
+			}
+			b.StopTimer()
+			for j := 0; j < batch; j++ {
+				if !found[j] {
+					b.Fatal("MultiGet missed a loaded key")
+				}
+			}
+		})
 	}
 }
 
@@ -138,7 +171,7 @@ func BenchmarkTrieSet(b *testing.B) {
 			t = cuckootrie.New(cuckootrie.Config{CapacityHint: len(ks), AutoResize: true})
 			b.StartTimer()
 		}
-		if err := t.Set(ks[i%len(ks)], uint64(i)); err != nil {
+		if _, err := t.Set(ks[i%len(ks)], uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,7 +21,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset/workload seed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ctbench [flags] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,11 +43,12 @@ func main() {
 		"fig13":    func() { bench.Fig13(os.Stdout, o) },
 		"table3":   func() { bench.Table3(os.Stdout, o) },
 		"ablation": func() { bench.Ablation(os.Stdout, o) },
+		"multiget": func() { bench.MultiGetBench(os.Stdout, o) },
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, k := range []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig11", "fig12", "fig13", "table3", "ablation"} {
+			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget"} {
 			runners[k]()
 		}
 		return

@@ -25,7 +25,7 @@ func main() {
 
 	t := cuckootrie.New(cuckootrie.Config{CapacityHint: *n, AutoResize: true})
 	for i, k := range keys {
-		if err := t.Set(k, uint64(i)); err != nil {
+		if _, err := t.Set(k, uint64(i)); err != nil {
 			log.Fatal(err)
 		}
 	}

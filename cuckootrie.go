@@ -15,16 +15,34 @@
 // lock-free (per-bucket seqlock validation), writers lock only the buckets
 // they touch.
 //
+// The API is batch-first (v2): MultiGet stages the hash ladders and bucket
+// addresses of a whole batch before resolving any key, so the independent
+// DRAM misses of all descents overlap — the same MLP argument the paper
+// makes for one lookup, generalized across a pipeline of requests. Set
+// reports whether the key was newly added, and NewCursor provides paginated
+// ordered iteration without a callback frame.
+//
 // Basic usage:
 //
 //	t := cuckootrie.New(cuckootrie.Config{CapacityHint: 1 << 20})
-//	t.Set([]byte("key"), 42)
+//	added, _ := t.Set([]byte("key"), 42)
 //	v, ok := t.Get([]byte("key"))
-//	it, _ := t.Seek([]byte("k"))
-//	for it.Valid() { ... it.Next() }
+//
+//	// Batched lookups: independent probes overlap in DRAM.
+//	vals := make([]uint64, len(batch))
+//	found := make([]bool, len(batch))
+//	t.MultiGet(batch, vals, found)
+//
+//	// Cursor iteration.
+//	c := t.NewCursor()
+//	for ok := c.Seek([]byte("k")); ok; ok = c.Next() { _ = c.Key() }
+//	c.Close()
 package cuckootrie
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/index"
+)
 
 // Config controls trie geometry and features. See core.Config for the
 // field-by-field documentation.
@@ -35,6 +53,11 @@ type Stats = core.Stats
 
 // Iterator walks keys in ascending order.
 type Iterator = core.Iterator
+
+// Cursor is the paginated-iteration interface shared with every engine
+// (Seek/Valid/Key/Value/Next/Close). The trie's cursor is its native
+// Iterator; see NewCursor.
+type Cursor = index.Cursor
 
 // Errors returned by trie operations.
 var (
@@ -52,11 +75,31 @@ type Trie struct {
 // New creates an empty Cuckoo Trie.
 func New(cfg Config) *Trie { return &Trie{t: core.New(cfg)} }
 
-// Set inserts key with value, or updates the value if key is present.
-func (t *Trie) Set(key []byte, value uint64) error { return t.t.Set(key, value) }
+// Set inserts key with value, or updates the value if key is present. added
+// reports whether key was newly inserted rather than updated.
+func (t *Trie) Set(key []byte, value uint64) (added bool, err error) { return t.t.Set(key, value) }
 
 // Get returns the value stored for key.
 func (t *Trie) Get(key []byte) (uint64, bool) { return t.t.Get(key) }
+
+// MultiGet looks up a batch of keys with interleaved probes: the hash
+// ladders and bucket addresses of the whole batch are staged (and their
+// cache lines touched) before any key resolves, so the independent DRAM
+// misses overlap instead of serializing. vals and found must each have at
+// least len(keys) elements.
+func (t *Trie) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	t.t.MultiGet(keys, vals, found)
+}
+
+// MultiSet inserts or updates a batch of keys, returning how many were newly
+// added. errs, when non-nil, receives the per-key error (nil on success).
+func (t *Trie) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return t.t.MultiSet(keys, vals, errs)
+}
+
+// NewCursor returns an unpositioned cursor backed by the trie's native
+// iterator (the sorted leaf list); position it with Seek.
+func (t *Trie) NewCursor() Cursor { return t.t.NewCursor() }
 
 // Contains reports whether key is present.
 func (t *Trie) Contains(key []byte) bool { return t.t.Contains(key) }

@@ -12,10 +12,14 @@ import (
 func main() {
 	t := cuckootrie.New(cuckootrie.Config{CapacityHint: 1024, AutoResize: true})
 
-	// Point operations.
+	// Point operations. Set reports whether the key was newly added.
 	for i, word := range []string{"banana", "apple", "cherry", "date", "apricot"} {
-		if err := t.Set([]byte(word), uint64(i)); err != nil {
+		added, err := t.Set([]byte(word), uint64(i))
+		if err != nil {
 			log.Fatal(err)
+		}
+		if !added {
+			log.Fatalf("%s unexpectedly already present", word)
 		}
 	}
 	if v, ok := t.Get([]byte("cherry")); ok {
@@ -23,16 +27,27 @@ func main() {
 	}
 	t.Delete([]byte("date"))
 
-	// Ordered iteration from a seek point.
-	it, err := t.Seek([]byte("app"))
-	if err != nil {
-		log.Fatal(err)
+	// Batched lookups: the probes of the whole batch are staged up front so
+	// their DRAM accesses overlap (the trie's MLP thesis, across keys).
+	batch := [][]byte{[]byte("apple"), []byte("durian"), []byte("banana")}
+	vals := make([]uint64, len(batch))
+	found := make([]bool, len(batch))
+	t.MultiGet(batch, vals, found)
+	for i, k := range batch {
+		if found[i] {
+			fmt.Printf("%s = %d\n", k, vals[i])
+		} else {
+			fmt.Printf("%s: not present\n", k)
+		}
 	}
+
+	// Cursor iteration from a seek point (pagination-friendly: no callback).
+	c := t.NewCursor()
 	fmt.Println("keys >= \"app\":")
-	for it.Valid() {
-		fmt.Printf("  %s = %d\n", it.Key(), it.Value())
-		it.Next()
+	for ok := c.Seek([]byte("app")); ok; ok = c.Next() {
+		fmt.Printf("  %s = %d\n", c.Key(), c.Value())
 	}
+	c.Close()
 
 	// Predecessor / successor queries.
 	if k, _, ok := t.Predecessor([]byte("bz")); ok {

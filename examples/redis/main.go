@@ -37,6 +37,22 @@ func main() {
 	score, _ := cl.Do([]byte("ZSCORE"), []byte("users"), []byte("alice"))
 	fmt.Printf("ZSCORE alice = %s\n", score)
 
+	// Re-adding an existing member updates its score and replies 0.
+	reply, _ := cl.Do([]byte("ZADD"), []byte("users"), []byte("alice"), []byte("2"))
+	fmt.Println("ZADD alice again =", reply)
+
+	// Batched scores in one round trip (served by one MultiGet).
+	scores, _ := cl.Do([]byte("ZMSCORE"), []byte("users"),
+		[]byte("bob"), []byte("mallory"), []byte("carol"))
+	fmt.Println("ZMSCORE bob mallory carol:")
+	for _, s := range scores.([]interface{}) {
+		if b, _ := s.([]byte); b != nil {
+			fmt.Printf("  %s\n", b)
+		} else {
+			fmt.Println("  (nil)")
+		}
+	}
+
 	members, _ := cl.Do([]byte("ZRANGEBYLEX"), []byte("users"), []byte("b"), []byte("10"))
 	fmt.Println("ZRANGEBYLEX from \"b\":")
 	for _, m := range members.([]interface{}) {

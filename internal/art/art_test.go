@@ -17,7 +17,7 @@ func TestBasic(t *testing.T) {
 	}
 	keys := []string{"a", "ab", "abc", "b", "ba", "hello", "hell", "help", "", "zzzz"}
 	for i, k := range keys {
-		if err := tr.Set([]byte(k), uint64(i)); err != nil {
+		if _, err := tr.Set([]byte(k), uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -46,7 +46,7 @@ func TestNodeGrowth(t *testing.T) {
 	tr := New()
 	for i := 0; i < 256; i++ {
 		k := []byte{'p', byte(i)}
-		if err := tr.Set(k, uint64(i)); err != nil {
+		if _, err := tr.Set(k, uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

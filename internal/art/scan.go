@@ -21,14 +21,22 @@ func (t *Tree) Scan(start []byte, limit int, fn func(key []byte, value uint64) b
 	}
 	visited := 0
 	bound := append([]byte(nil), start...)
+	var last []byte
 	strict := false
 	for visited < limit {
 		emitted := 0
+		// The walk reads bound through its own slice headers, so it must not
+		// be mutated mid-pass (a shorter emitted key would splice with the old
+		// bound's tail and cut off live subtrees); record the last emitted key
+		// separately and advance bound only between passes.
 		status := t.scanOnce(bound, strict, limit-visited, &emitted, func(k []byte, v uint64) bool {
-			bound = append(bound[:0], k...)
+			last = append(last[:0], k...)
 			return fn(k, v)
 		})
 		visited += emitted
+		if emitted > 0 {
+			bound = append(bound[:0], last...)
+		}
 		switch status {
 		case scanRetry:
 			strict = emitted > 0 || strict
@@ -36,10 +44,8 @@ func (t *Tree) Scan(start []byte, limit int, fn func(key []byte, value uint64) b
 		case scanStop:
 			return visited
 		case scanOK:
-			if emitted == 0 {
-				return visited
-			}
-			strict = true
+			// The whole tree was walked: nothing further to emit.
+			return visited
 		}
 	}
 	return visited

@@ -97,8 +97,8 @@ restart:
 	}
 }
 
-// Set inserts or updates key.
-func (t *Tree) Set(key []byte, value uint64) error {
+// Set inserts or updates key. added reports whether key was newly inserted.
+func (t *Tree) Set(key []byte, value uint64) (added bool, err error) {
 restart:
 	var parent *node
 	var pv uint64
@@ -139,7 +139,7 @@ restart:
 			n.unlock()
 			parent.unlock()
 			t.size.Add(1)
-			return nil
+			return true, nil
 		}
 		depth += cpl
 		if depth == len(key) {
@@ -150,12 +150,12 @@ restart:
 			if l := n.leafHere.Load(); l != nil {
 				l.val.Store(value)
 				n.unlock()
-				return nil
+				return false, nil
 			}
 			n.leafHere.Store(newLeaf(key, value))
 			n.unlock()
 			t.size.Add(1)
-			return nil
+			return true, nil
 		}
 		b := key[depth]
 		child := n.findChild(b)
@@ -181,7 +181,7 @@ restart:
 				n.unlockObsolete()
 				parent.unlock()
 				t.size.Add(1)
-				return nil
+				return true, nil
 			}
 			if !n.upgrade(v) {
 				goto restart
@@ -193,7 +193,7 @@ restart:
 			n.addChild(b, newLeaf(key, value))
 			n.unlock()
 			t.size.Add(1)
-			return nil
+			return true, nil
 		}
 		if child.kind == kindLeaf {
 			if !n.upgrade(v) {
@@ -202,7 +202,7 @@ restart:
 			if bytes.Equal(child.key, key) {
 				child.val.Store(value)
 				n.unlock()
-				return nil
+				return false, nil
 			}
 			// Replace the leaf with an inner node holding both keys.
 			lk := child.key
@@ -223,7 +223,7 @@ restart:
 			n.swapChild(b, nn)
 			n.unlock()
 			t.size.Add(1)
-			return nil
+			return true, nil
 		}
 		cv, cok := child.rVersion()
 		if !cok || !n.check(v) {

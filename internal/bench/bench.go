@@ -101,7 +101,7 @@ func engineByName(name string) (Engine, bool) {
 func load(e Engine, keys [][]byte, n int) index.Index {
 	ix := e.New(n)
 	for i := 0; i < n; i++ {
-		if err := ix.Set(keys[i], uint64(i)); err != nil {
+		if _, err := ix.Set(keys[i], uint64(i)); err != nil {
 			panic(fmt.Sprintf("%s load: %v", e.Name, err))
 		}
 	}
@@ -163,7 +163,7 @@ func runLoad(e Engine, keys [][]byte, threads int) float64 {
 				hi = len(keys)
 			}
 			for i := lo; i < hi; i++ {
-				if err := ix.Set(keys[i], uint64(i)); err != nil {
+				if _, err := ix.Set(keys[i], uint64(i)); err != nil {
 					panic(fmt.Sprintf("%s load: %v", e.Name, err))
 				}
 			}

@@ -158,15 +158,29 @@ func newRedisDefault() index.Index {
 func (r *redisDefault) Name() string { return "Redis-default" }
 func (r *redisDefault) Len() int     { return len(r.m) }
 
-func (r *redisDefault) Set(k []byte, v uint64) error {
+func (r *redisDefault) Set(k []byte, v uint64) (bool, error) {
+	_, existed := r.m[string(k)]
 	r.m[string(k)] = v
-	return r.sl.Set(k, v)
+	if _, err := r.sl.Set(k, v); err != nil {
+		return false, err
+	}
+	return !existed, nil
 }
 
 func (r *redisDefault) Get(k []byte) (uint64, bool) {
 	v, ok := r.m[string(k)]
 	return v, ok
 }
+
+func (r *redisDefault) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	index.FallbackMultiGet(r, keys, vals, found)
+}
+
+func (r *redisDefault) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(r, keys, vals, errs)
+}
+
+func (r *redisDefault) NewCursor() index.Cursor { return index.NewScanCursor(r) }
 
 func (r *redisDefault) Delete(k []byte) bool {
 	if _, ok := r.m[string(k)]; !ok {

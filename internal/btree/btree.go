@@ -73,8 +73,8 @@ func (t *Tree) findLeaf(key []byte) *leaf {
 	}
 }
 
-// Set inserts or updates key.
-func (t *Tree) Set(key []byte, value uint64) error {
+// Set inserts or updates key. added reports whether key was newly inserted.
+func (t *Tree) Set(key []byte, value uint64) (added bool, err error) {
 	if t.root == nil {
 		l := &leaf{keys: make([][]byte, 0, leafSlots), vals: make([]uint64, 0, leafSlots)}
 		l.keys = append(l.keys, cloneKey(key))
@@ -82,7 +82,7 @@ func (t *Tree) Set(key []byte, value uint64) error {
 		t.root = l
 		t.size = 1
 		t.depth = 1
-		return nil
+		return true, nil
 	}
 	splitKey, splitNode, grew := t.insert(t.root, key, value)
 	if splitNode != nil {
@@ -96,7 +96,7 @@ func (t *Tree) Set(key []byte, value uint64) error {
 	if grew {
 		t.size++
 	}
-	return nil
+	return grew, nil
 }
 
 // insert descends into n. Returns a (separator, new right sibling) pair when

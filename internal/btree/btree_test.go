@@ -18,7 +18,7 @@ func TestDeepSplits(t *testing.T) {
 	n := 50_000
 	for i := 0; i < n; i++ {
 		k := []byte{byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)}
-		if err := tr.Set(k, uint64(i)); err != nil {
+		if _, err := tr.Set(k, uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -27,7 +27,7 @@ func TestConcurrentInserts(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < perWorker; i++ {
 				k := keys.Uint64Key(uint64(w)<<48 | uint64(rng.Int63n(1<<40)))
-				if err := tr.Set(k, uint64(w)); err != nil {
+				if _, err := tr.Set(k, uint64(w)); err != nil {
 					t.Errorf("Set: %v", err)
 					return
 				}
@@ -53,7 +53,7 @@ func TestConcurrentReadWrite(t *testing.T) {
 	// Stable keys that are never touched by writers.
 	const stable = 2000
 	for i := 0; i < stable; i++ {
-		must(t, tr.Set(keys.Uint64Key(uint64(i)*2+1), uint64(i)))
+		mustSet(t, tr, keys.Uint64Key(uint64(i)*2+1), uint64(i))
 	}
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -69,7 +69,7 @@ func TestConcurrentReadWrite(t *testing.T) {
 			for !stop.Load() {
 				if len(mine) == 0 || rng.Intn(2) == 0 {
 					v := uint64(w+1)<<50 | uint64(rng.Int63n(1<<30))*2
-					if err := tr.Set(keys.Uint64Key(v), v); err != nil {
+					if _, err := tr.Set(keys.Uint64Key(v), v); err != nil {
 						t.Errorf("Set: %v", err)
 						return
 					}
@@ -168,7 +168,7 @@ func TestConcurrentDisjointDeletes(t *testing.T) {
 		n = 4000
 	}
 	for i := 0; i < n; i++ {
-		must(t, tr.Set(keys.Uint64Key(uint64(i)), uint64(i)))
+		mustSet(t, tr, keys.Uint64Key(uint64(i)), uint64(i))
 	}
 	workers := 8
 	var wg sync.WaitGroup
@@ -202,7 +202,7 @@ func TestConcurrentSameKeyUpserts(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < 2000; i++ {
 				k := keys.Uint64Key(uint64(rng.Intn(hotKeys)))
-				if err := tr.Set(k, uint64(w)); err != nil {
+				if _, err := tr.Set(k, uint64(w)); err != nil {
 					t.Errorf("Set: %v", err)
 					return
 				}

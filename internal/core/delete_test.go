@@ -12,9 +12,9 @@ import (
 
 func TestDeleteSimple(t *testing.T) {
 	tr := newTestTrie(64)
-	must(t, tr.Set([]byte("a"), 1))
-	must(t, tr.Set([]byte("b"), 2))
-	must(t, tr.Set([]byte("c"), 3))
+	mustSet(t, tr, []byte("a"), 1)
+	mustSet(t, tr, []byte("b"), 2)
+	mustSet(t, tr, []byte("c"), 3)
 	checkInv(t, tr)
 	if !tr.Delete([]byte("b")) {
 		t.Fatal("Delete(b) = false")
@@ -37,7 +37,7 @@ func TestDeleteSimple(t *testing.T) {
 
 func TestDeleteLastKey(t *testing.T) {
 	tr := newTestTrie(16)
-	must(t, tr.Set([]byte("only"), 1))
+	mustSet(t, tr, []byte("only"), 1)
 	if !tr.Delete([]byte("only")) {
 		t.Fatal("delete failed")
 	}
@@ -49,7 +49,7 @@ func TestDeleteLastKey(t *testing.T) {
 		t.Fatal("Min on emptied trie")
 	}
 	// Trie remains usable.
-	must(t, tr.Set([]byte("again"), 2))
+	mustSet(t, tr, []byte("again"), 2)
 	checkInv(t, tr)
 	if v, ok := tr.Get([]byte("again")); !ok || v != 2 {
 		t.Fatal("reinsert after emptying failed")
@@ -62,8 +62,8 @@ func TestDeleteHoistsSibling(t *testing.T) {
 	tr := newTestTrie(128)
 	a := []byte("shared-long-prefix-0000/a")
 	b := []byte("shared-long-prefix-0000/b")
-	must(t, tr.Set(a, 1))
-	must(t, tr.Set(b, 2))
+	mustSet(t, tr, a, 1)
+	mustSet(t, tr, b, 2)
 	checkInv(t, tr)
 	st := tr.Stats()
 	if st.JumpNodes == 0 {
@@ -81,7 +81,7 @@ func TestDeleteHoistsSibling(t *testing.T) {
 		t.Fatalf("expected full tail collapse, %d slots used", st.SlotsUsed)
 	}
 	// And the other direction.
-	must(t, tr.Set(a, 1))
+	mustSet(t, tr, a, 1)
 	checkInv(t, tr)
 	if !tr.Delete(b) {
 		t.Fatal("delete failed")
@@ -102,7 +102,7 @@ func TestDeleteConvertsToJump(t *testing.T) {
 		[]byte("xx-branch-two"),
 	}
 	for i, k := range ks {
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	checkInv(t, tr)
 	if !tr.Delete(ks[0]) {
@@ -128,7 +128,7 @@ func TestDeleteRandomModel(t *testing.T) {
 			if _, dup := model[string(k)]; dup {
 				continue
 			}
-			must(t, tr.Set(k, uint64(round)))
+			mustSet(t, tr, k, uint64(round))
 			model[string(k)] = uint64(round)
 			live = append(live, string(k))
 		} else {
@@ -159,7 +159,7 @@ func TestDeleteAllInOrder(t *testing.T) {
 			for i := 0; i < n; i++ {
 				k := keys.Uint64Key(uint64(i * 1000003 % 100000))
 				ks = append(ks, k)
-				must(t, tr.Set(k, uint64(i)))
+				mustSet(t, tr, k, uint64(i))
 			}
 			switch order {
 			case "desc":
@@ -198,7 +198,7 @@ func TestDeletePrefixFamilies(t *testing.T) {
 		}
 	}
 	for i, k := range ks {
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	checkInv(t, tr)
 	// Delete every other key.
@@ -219,7 +219,7 @@ func TestDeletePrefixFamilies(t *testing.T) {
 func TestDeleteMinMaxMaintenance(t *testing.T) {
 	tr := newTestTrie(256)
 	for i := 0; i < 50; i++ {
-		must(t, tr.Set(keys.Uint64Key(uint64(i)), uint64(i)))
+		mustSet(t, tr, keys.Uint64Key(uint64(i)), uint64(i))
 	}
 	// Repeatedly delete the minimum.
 	for i := 0; i < 25; i++ {
@@ -255,7 +255,7 @@ func TestDeleteThenResize(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		k := randKey(rng, 1+rng.Intn(12))
 		model[string(k)] = uint64(i)
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 		if i%3 == 0 {
 			for mk := range model {
 				tr.Delete([]byte(mk))

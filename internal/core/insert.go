@@ -27,9 +27,10 @@ const (
 )
 
 // Set inserts key k with value v, or updates the value if k is present.
-func (tr *Trie) Set(k []byte, v uint64) error {
+// added reports whether k was newly inserted rather than updated in place.
+func (tr *Trie) Set(k []byte, v uint64) (added bool, err error) {
 	if len(k) > MaxKeyLen {
-		return ErrKeyTooLong
+		return false, ErrKeyTooLong
 	}
 	var sbuf [96]byte
 	syms := keys.AppendSymbols(sbuf[:0], k)
@@ -40,10 +41,10 @@ func (tr *Trie) Set(k []byte, v uint64) error {
 		t := tr.tbl.Load()
 		var status int
 		var roomHash uint64
-		status, roomHash, path = tr.insertOnce(t, syms, k, v, path)
+		status, added, roomHash, path = tr.insertOnce(t, syms, k, v, path)
 		switch status {
 		case insDone:
-			return nil
+			return added, nil
 		case insRetry:
 			continue
 		case insNeedRoom:
@@ -57,21 +58,21 @@ func (tr *Trie) Set(k []byte, v uint64) error {
 		case insFull:
 			if tr.cfg.AutoResize {
 				if err := tr.resize(t); err != nil {
-					return err
+					return false, err
 				}
 				roomAttempts = 0
 				continue
 			}
-			return ErrTableFull
+			return false, ErrTableFull
 		}
 	}
 }
 
-func (tr *Trie) insertOnce(t *table, syms []byte, k []byte, v uint64, path []pathNode) (int, uint64, []pathNode) {
+func (tr *Trie) insertOnce(t *table, syms []byte, k []byte, v uint64, path []pathNode) (int, bool, uint64, []pathNode) {
 	var st searchState
 	path, st = tr.searchPath(t, syms, path)
 	if st.outcome == soRestart {
-		return insRetry, 0, path
+		return insRetry, false, 0, path
 	}
 	term := st.terminal()
 
@@ -80,11 +81,11 @@ func (tr *Trie) insertOnce(t *table, syms []byte, k []byte, v uint64, path []pat
 		if bytes.Equal(old, k) {
 			// Update in place: lock the leaf's bucket to pin the record.
 			if !t.tryLock(term.ref.bucket, term.ref.ver) {
-				return insRetry, 0, path
+				return insRetry, false, 0, path
 			}
 			tr.recs.setValue(term.ent.recIdx, v)
 			t.unlock(term.ref.bucket, term.ref.ver, false)
-			return insDone, 0, path
+			return insDone, false, 0, path
 		}
 	}
 
@@ -100,19 +101,19 @@ func (tr *Trie) insertOnce(t *table, syms []byte, k []byte, v uint64, path []pat
 		ok = tr.planJumpSplit(p, path, syms, st.idx, st.jumpOff, k, v)
 	}
 	if p.colorsFull {
-		return insFull, 0, path
+		return insFull, false, 0, path
 	}
 	if p.needRoom {
-		return insNeedRoom, p.needRoomHash, path
+		return insNeedRoom, false, p.needRoomHash, path
 	}
 	if !ok || p.failed {
-		return insRetry, 0, path
+		return insRetry, false, 0, path
 	}
 	if !p.apply(tr) {
-		return insRetry, 0, path
+		return insRetry, false, 0, path
 	}
 	tr.count.Add(1)
-	return insDone, 0, path
+	return insDone, true, 0, path
 }
 
 // linkLeaf wires the new leaf (write index li, locator lloc) into the sorted

@@ -131,7 +131,7 @@ func (c *checker) walk(e entry, ref entryRef, h uint64, name []byte) (locator, b
 				maxLoc, hasMax = ml, true
 			}
 		}
-		isRoot := h == 0 && e.color == c.tr.rootColor && e.lastSym == rootLastSym
+		isRoot := h == 0 && e.color == uint8(c.tr.rootColor.Load()) && e.lastSym == rootLastSym
 		if !isRoot && nchild < 2 {
 			return locator{}, false, fmt.Errorf("non-root internal node with %d children", nchild)
 		}

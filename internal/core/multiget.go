@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+// Batched lookups. A single Cuckoo Trie lookup already enjoys intra-key MLP:
+// every level's candidate buckets are computable from the key alone, so the
+// probes of one root-to-leaf descent are independent DRAM accesses (§4.4).
+// MultiGet generalizes the argument *across* keys: a server draining a
+// pipeline of point lookups has no dependencies between requests either, so
+// the batch is resolved level-synchronously in two repeating phases —
+//
+//  1. stage: compute the full hash ladder H(k[:1])..H(k[:n]) for every key
+//     up front and touch (prefetch) the candidate buckets of each key's next
+//     probe, issuing all of the batch's independent misses back-to-back;
+//  2. resolve: advance every key by one probe, which now mostly hits cache.
+//
+// Keys that hit a concurrency conflict (torn read, table resize) fall back
+// to the single-key Get, which carries its own retry loop.
+
+// prefetch touches bucket b's first cache line so a subsequent probe of the
+// bucket is likely a cache hit. The atomic load cannot be elided by the
+// compiler, making it a portable stand-in for a prefetch instruction.
+func (t *table) prefetch(b uint64) {
+	atomic.LoadUint64(&t.words[b*bucketWords])
+}
+
+// mgScratch is MultiGet's reusable per-batch working memory.
+type mgScratch struct {
+	states []mgState
+	syms   []byte
+	hashes []uint64
+}
+
+var mgScratchPool = sync.Pool{New: func() any { return new(mgScratch) }}
+
+// mgState tracks one key's in-flight descent.
+type mgState struct {
+	syms   []byte
+	hashes []uint64 // hashes[i] = H(syms[:i]) under the current table
+	cur    pathNode
+	i      int // next symbol index to consume
+	done   bool
+	retry  bool // resolve via single-key Get at the end
+}
+
+// nextProbeHash returns the hash of the next child this key will fetch: for
+// a regular node that is the next symbol's extension; for a jump node it is
+// the hash at the jump's end, since the intermediate symbols are compared
+// in-entry without probing.
+func (st *mgState) nextProbeHash() (uint64, bool) {
+	switch st.cur.ent.kind {
+	case kindInternal:
+		if st.i+1 < len(st.hashes) {
+			return st.hashes[st.i+1], true
+		}
+	case kindJump:
+		if end := st.cur.depth + int(st.cur.ent.jumpLen); end < len(st.hashes) {
+			return st.hashes[end], true
+		}
+	}
+	return 0, false
+}
+
+// MultiGet looks up a batch of keys, overlapping the independent probes of
+// all descents. vals and found must each have at least len(ks) elements.
+func (tr *Trie) MultiGet(ks [][]byte, vals []uint64, found []bool) {
+	n := len(ks)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		vals[0], found[0] = tr.Get(ks[0])
+		return
+	}
+	t := tr.tbl.Load()
+	root, rootRef, rok := tr.tryFindRoot(t)
+
+	// Flat per-batch scratch, pooled so the steady-state batch path is
+	// allocation-free: the states, the symbol expansions, and the hash
+	// ladders live in three buffers sliced per key.
+	totalSyms := 0
+	for j := 0; j < n; j++ {
+		if len(ks[j]) <= MaxKeyLen {
+			totalSyms += keys.NumSymbols(ks[j])
+		}
+	}
+	sc := mgScratchPool.Get().(*mgScratch)
+	defer mgScratchPool.Put(sc)
+	if cap(sc.states) < n {
+		sc.states = make([]mgState, n)
+	}
+	if cap(sc.syms) < totalSyms {
+		sc.syms = make([]byte, 0, totalSyms)
+	}
+	if cap(sc.hashes) < totalSyms+n {
+		sc.hashes = make([]uint64, 0, totalSyms+n)
+	}
+	states := sc.states[:n]
+	for j := range states {
+		states[j] = mgState{} // pooled memory: clear stale done/retry flags
+	}
+	symBuf := sc.syms[:0]
+	hashBuf := sc.hashes[:0]
+
+	active := 0
+	for j := 0; j < n; j++ {
+		st := &states[j]
+		if len(ks[j]) > MaxKeyLen {
+			vals[j], found[j] = 0, false
+			st.done = true
+			continue
+		}
+		if !rok {
+			st.retry = true
+			continue
+		}
+		// Stage phase: symbols and the whole hash ladder, computed before any
+		// probe resolves, so every level's bucket addresses are known up front.
+		lo := len(symBuf)
+		symBuf = keys.AppendSymbols(symBuf, ks[j])
+		st.syms = symBuf[lo:len(symBuf):len(symBuf)]
+		hlo := len(hashBuf)
+		hashBuf = append(hashBuf, 0)
+		h := uint64(0)
+		for _, s := range st.syms {
+			h = t.step(h, s)
+			hashBuf = append(hashBuf, h)
+		}
+		st.hashes = hashBuf[hlo:len(hashBuf):len(hashBuf)]
+		st.cur = pathNode{ent: root, ref: rootRef, depth: 0, hash: 0}
+		active++
+	}
+
+	touch := func() {
+		for j := range states {
+			st := &states[j]
+			if st.done || st.retry {
+				continue
+			}
+			if h, ok := st.nextProbeHash(); ok {
+				b1, b2, _ := t.bucketsOf(h)
+				t.prefetch(b1)
+				t.prefetch(b2)
+			}
+		}
+	}
+
+	touch()
+	for active > 0 {
+		for j := range states {
+			st := &states[j]
+			if st.done || st.retry {
+				continue
+			}
+			tr.mgAdvance(t, st, ks[j], vals, found, j)
+			if st.done || st.retry {
+				active--
+			}
+		}
+		if active > 0 {
+			touch()
+		}
+	}
+
+	for j := range states {
+		if states[j].retry {
+			vals[j], found[j] = tr.Get(ks[j])
+		}
+	}
+}
+
+// mgAdvance performs one probe step of key j's descent: it consumes in-entry
+// jump symbols without memory accesses, then fetches exactly one child (or
+// reaches a terminal miss/leaf). Conflicts mark the key for single-Get retry.
+func (tr *Trie) mgAdvance(t *table, st *mgState, k []byte, vals []uint64, found []bool, j int) {
+	cur := &st.cur
+	for {
+		if st.i >= len(st.syms) {
+			// The terminator cannot have children: torn read, retry.
+			st.retry = true
+			return
+		}
+		s := st.syms[st.i]
+		switch cur.ent.kind {
+		case kindInternal:
+			if !bitmapHas(cur.ent.w1, s) {
+				vals[j], found[j] = 0, false
+				st.done = true
+				return
+			}
+		case kindJump:
+			off := st.i - cur.depth
+			if cur.ent.jumpSymbol(off) != s {
+				vals[j], found[j] = 0, false
+				st.done = true
+				return
+			}
+			if off+1 < int(cur.ent.jumpLen) {
+				st.i++
+				continue
+			}
+		default:
+			st.retry = true
+			return
+		}
+		h := st.hashes[st.i+1]
+		child, ref, ok := t.findChild(cur, h, s, cur.ent.kind == kindJump)
+		if !ok {
+			st.retry = true
+			return
+		}
+		st.cur = pathNode{ent: child, ref: ref, depth: st.i + 1, hash: h}
+		st.i++
+		if child.kind == kindLeaf {
+			if child.dirty {
+				st.retry = true
+				return
+			}
+			rk := tr.recs.key(child.recIdx)
+			match := bytes.Equal(rk, k)
+			val := tr.recs.value(child.recIdx)
+			if t.loadVersion(ref.bucket) != ref.ver {
+				st.retry = true
+				return
+			}
+			if match {
+				vals[j], found[j] = val, true
+			} else {
+				vals[j], found[j] = 0, false
+			}
+			st.done = true
+		}
+		return
+	}
+}
+
+// MultiSet inserts or updates a batch of keys. Writes mutate shared buckets,
+// so they execute sequentially; the batch form exists for interface symmetry
+// and single-call convenience. errs, when non-nil, receives per-key errors;
+// the return value counts newly added keys.
+func (tr *Trie) MultiSet(ks [][]byte, vals []uint64, errs []error) int {
+	added := 0
+	for i, k := range ks {
+		a, err := tr.Set(k, vals[i])
+		if errs != nil {
+			errs[i] = err
+		}
+		if err == nil && a {
+			added++
+		}
+	}
+	return added
+}

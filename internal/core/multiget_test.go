@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// TestMultiGetBasic cross-checks MultiGet against Get on a loaded trie with
+// hits, misses, and duplicate keys in one batch.
+func TestMultiGetBasic(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 14, AutoResize: true})
+	rng := rand.New(rand.NewSource(51))
+	n := 20000
+	for i := 0; i < n; i++ {
+		mustSet(t, tr, keys.Uint64Key(uint64(i)*3), uint64(i))
+	}
+	for _, bs := range []int{1, 2, 7, 8, 64, 100, 500} {
+		batch := make([][]byte, bs)
+		for j := range batch {
+			batch[j] = keys.Uint64Key(uint64(rng.Intn(3 * n))) // ~1/3 hit rate
+		}
+		if bs > 1 {
+			batch[bs-1] = batch[0]
+		}
+		vals := make([]uint64, bs)
+		found := make([]bool, bs)
+		tr.MultiGet(batch, vals, found)
+		for j, k := range batch {
+			wv, wok := tr.Get(k)
+			if found[j] != wok || (wok && vals[j] != wv) {
+				t.Fatalf("batch %d: MultiGet[%d] = %d,%v; Get = %d,%v",
+					bs, j, vals[j], found[j], wv, wok)
+			}
+		}
+	}
+}
+
+// TestMultiGetVariableKeys exercises the staged hash ladders across keys of
+// very different lengths (different descent depths and jump nodes) in the
+// same batch.
+func TestMultiGetVariableKeys(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 12, AutoResize: true})
+	rng := rand.New(rand.NewSource(52))
+	var stored [][]byte
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 1+rng.Intn(40))
+		rng.Read(k)
+		if _, err := tr.Set(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, k)
+	}
+	batch := make([][]byte, 128)
+	for j := range batch {
+		if j%4 == 0 {
+			k := make([]byte, 1+rng.Intn(40))
+			rng.Read(k)
+			batch[j] = k
+		} else {
+			batch[j] = stored[rng.Intn(len(stored))]
+		}
+	}
+	vals := make([]uint64, len(batch))
+	found := make([]bool, len(batch))
+	tr.MultiGet(batch, vals, found)
+	for j, k := range batch {
+		wv, wok := tr.Get(k)
+		if found[j] != wok || (wok && vals[j] != wv) {
+			t.Fatalf("MultiGet[%d] (len %d) = %d,%v; Get = %d,%v",
+				j, len(k), vals[j], found[j], wv, wok)
+		}
+	}
+}
+
+// TestMultiSetAdded verifies the batched write path's added accounting.
+func TestMultiSetAdded(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 10, AutoResize: true})
+	ks := make([][]byte, 100)
+	vals := make([]uint64, 100)
+	for i := range ks {
+		ks[i] = keys.Uint64Key(uint64(i))
+		vals[i] = uint64(i)
+	}
+	errs := make([]error, len(ks))
+	if added := tr.MultiSet(ks, vals, errs); added != len(ks) {
+		t.Fatalf("fresh MultiSet added %d", added)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+	if added := tr.MultiSet(ks, vals, nil); added != 0 {
+		t.Fatalf("repeat MultiSet added %d", added)
+	}
+	if tr.Len() != len(ks) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// TestConcurrentMultiGet runs batched readers against concurrent writers:
+// stable keys must always be found with their original values, regardless of
+// the churn triggering conflict fallbacks or table resizes mid-batch.
+func TestConcurrentMultiGet(t *testing.T) {
+	tr := New(Config{CapacityHint: 1 << 12, AutoResize: true})
+	const stable = 2000
+	for i := 0; i < stable; i++ {
+		mustSet(t, tr, keys.Uint64Key(uint64(i)*2+1), uint64(i))
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	writers := 2
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + w)))
+			for !stop.Load() {
+				v := uint64(w+1)<<50 | uint64(rng.Int63n(1<<30))*2
+				if _, err := tr.Set(keys.Uint64Key(v), v); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	readers := 2
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + r)))
+			const bs = 32
+			batch := make([][]byte, bs)
+			idx := make([]int, bs)
+			vals := make([]uint64, bs)
+			found := make([]bool, bs)
+			for !stop.Load() {
+				for j := 0; j < bs; j++ {
+					idx[j] = rng.Intn(stable)
+					batch[j] = keys.Uint64Key(uint64(idx[j])*2 + 1)
+				}
+				tr.MultiGet(batch, vals, found)
+				for j := 0; j < bs; j++ {
+					if !found[j] || vals[j] != uint64(idx[j]) {
+						errs <- errFmt("stable key %d: MultiGet %d,%v",
+							idx[j], vals[j], found[j])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	timeout := 2 * time.Second
+	if testing.Short() {
+		timeout = 300 * time.Millisecond
+	}
+	select {
+	case err := <-errs:
+		stop.Store(true)
+		wg.Wait()
+		t.Fatal(err)
+	case <-time.After(timeout):
+		stop.Store(true)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -103,7 +103,7 @@ func TestRandomOpSequences(t *testing.T) {
 				k := make([]byte, rng.Intn(10))
 				rng.Read(k)
 				v := rng.Uint64()
-				if tr.Set(k, v) != nil {
+				if _, err := tr.Set(k, v); err != nil {
 					return false
 				}
 				if _, ok := model[string(k)]; !ok {
@@ -219,7 +219,7 @@ func TestTrieOrderMatchesBytes(t *testing.T) {
 			if len(k) > 32 {
 				k = k[:32]
 			}
-			if tr.Set(k, 1) != nil {
+			if _, err := tr.Set(k, 1); err != nil {
 				return false
 			}
 			uniq[string(k)] = true

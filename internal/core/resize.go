@@ -58,7 +58,7 @@ func (tr *Trie) resize(old *table) error {
 		}
 		return err
 	}
-	tr.rootColor = b.newRootColor
+	tr.rootColor.Store(uint32(b.newRootColor))
 	if b.minValid {
 		tr.minLoc.Store(packMinLoc(b.minLoc))
 	} else {
@@ -92,7 +92,7 @@ type rebuilder struct {
 }
 
 func (b *rebuilder) run() error {
-	rootOld, _, ok := b.src.lockedFind(locator{0, b.tr.rootColor})
+	rootOld, _, ok := b.src.lockedFind(locator{0, uint8(b.tr.rootColor.Load())})
 	if !ok {
 		return errResizeRace
 	}

@@ -184,6 +184,31 @@ func (it *Iterator) loadPos(pos leafPos) bool {
 	return true
 }
 
+// NewCursor returns an unpositioned iterator for cursor-style use: position
+// it with Seek, then walk with Next. With the leaf list disabled the cursor
+// is never valid, matching Scan's behavior.
+func (tr *Trie) NewCursor() *Iterator { return &Iterator{tr: tr} }
+
+// Seek repositions the iterator at the smallest key ≥ start (the minimum key
+// when start is nil) and reports whether such a key exists. It implements
+// the index.Cursor interface.
+func (it *Iterator) Seek(start []byte) bool {
+	if it.tr.cfg.DisableLeafList {
+		it.valid = false
+		return false
+	}
+	it.seek(start)
+	return it.valid
+}
+
+// Close invalidates the iterator and releases its buffers (index.Cursor).
+func (it *Iterator) Close() {
+	it.valid = false
+	it.key = nil
+	it.scratch = nil
+	it.t = nil
+}
+
 // Valid reports whether the iterator is positioned on a key.
 func (it *Iterator) Valid() bool { return it.valid }
 

@@ -209,7 +209,7 @@ func (tr *Trie) searchPath(t *table, syms []byte, path []pathNode) ([]pathNode, 
 // tryFindRoot locates the root with bounded retries.
 func (tr *Trie) tryFindRoot(t *table) (entry, entryRef, bool) {
 	for spin := 0; spin < 4096; spin++ {
-		e, ref, ok := t.findByLocator(locator{0, tr.rootColor})
+		e, ref, ok := t.findByLocator(locator{0, uint8(tr.rootColor.Load())})
 		if ok {
 			return e, ref, true
 		}

@@ -88,7 +88,9 @@ type Trie struct {
 
 	// rootColor is the root entry's color; the root's hash is 0 by
 	// definition (name ε), so (0, rootColor) is its permanent locator.
-	rootColor uint8
+	// Atomic because resize rewrites it concurrently with lock-free readers;
+	// the table-pointer swap orders the two for readers of the new table.
+	rootColor atomic.Uint32
 
 	// minLoc is the locator of the minimum leaf, packed as
 	// hash<<4 | color<<1 | valid. Ops that change it must hold bucket 0's
@@ -116,7 +118,7 @@ func New(cfg Config) *Trie {
 	root := entry{kind: kindInternal, tag: 0, primary: true, color: 0, lastSym: rootLastSym}
 	b1, _, _ := t.bucketsOf(0)
 	t.writeSlot(b1, 0, root)
-	tr.rootColor = 0
+	tr.rootColor.Store(0)
 	tr.tbl.Store(t)
 	return tr
 }
@@ -127,7 +129,7 @@ func (tr *Trie) Len() int { return int(tr.count.Load()) }
 // findRoot locates the root entry in table t.
 func (tr *Trie) findRoot(t *table) (entry, entryRef) {
 	for {
-		e, ref, ok := t.findByLocator(locator{0, tr.rootColor})
+		e, ref, ok := t.findByLocator(locator{0, uint8(tr.rootColor.Load())})
 		if ok {
 			return e, ref
 		}

@@ -39,7 +39,7 @@ func TestEmptyTrie(t *testing.T) {
 
 func TestSingleKey(t *testing.T) {
 	tr := newTestTrie(16)
-	if err := tr.Set([]byte("hello"), 42); err != nil {
+	if _, err := tr.Set([]byte("hello"), 42); err != nil {
 		t.Fatal(err)
 	}
 	if v, ok := tr.Get([]byte("hello")); !ok || v != 42 {
@@ -69,8 +69,8 @@ func TestSingleKey(t *testing.T) {
 
 func TestUpdateValue(t *testing.T) {
 	tr := newTestTrie(16)
-	must(t, tr.Set([]byte("k"), 1))
-	must(t, tr.Set([]byte("k"), 2))
+	mustSet(t, tr, []byte("k"), 1)
+	mustSet(t, tr, []byte("k"), 2)
 	if v, _ := tr.Get([]byte("k")); v != 2 {
 		t.Fatalf("value = %d, want 2", v)
 	}
@@ -88,7 +88,7 @@ func TestPrefixPairs(t *testing.T) {
 		[]byte(""), []byte("b"), []byte("ba"),
 	}
 	for i, k := range pairs {
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	for i, k := range pairs {
 		if v, ok := tr.Get(k); !ok || v != uint64(i) {
@@ -107,7 +107,7 @@ func TestSharedPrefixChains(t *testing.T) {
 		ks = append(ks, []byte(fmt.Sprintf("%s%04d", base, i*7)))
 	}
 	for i, k := range ks {
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	for i, k := range ks {
 		if v, ok := tr.Get(k); !ok || v != uint64(i) {
@@ -125,13 +125,13 @@ func TestJumpSplitDeep(t *testing.T) {
 	// Insert a key, then keys diverging at every position of its jump chain.
 	tr := newTestTrie(512)
 	long := bytes.Repeat([]byte("x"), 30)
-	must(t, tr.Set(long, 0))
+	mustSet(t, tr, long, 0)
 	var ks [][]byte
 	ks = append(ks, long)
 	for i := 1; i < len(long); i++ {
 		k := append([]byte(nil), long[:i]...)
 		k = append(k, 'a')
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 		ks = append(ks, k)
 	}
 	for i, k := range ks {
@@ -149,12 +149,12 @@ func TestRandomModel(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		k := randKey(rng, 1+rng.Intn(24))
 		v := rng.Uint64()
-		must(t, tr.Set(k, v))
+		mustSet(t, tr, k, v)
 		model[string(k)] = v
 		if i%97 == 0 {
 			// Occasionally update an existing key.
 			for mk := range model {
-				must(t, tr.Set([]byte(mk), v+1))
+				mustSet(t, tr, []byte(mk), v+1)
 				model[mk] = v + 1
 				break
 			}
@@ -170,7 +170,7 @@ func TestFixed8ByteKeys(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		k := keys.Uint64Key(rng.Uint64())
 		model[string(k)] = uint64(i)
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	verifyModel(t, tr, model)
 	st := tr.Stats()
@@ -185,7 +185,7 @@ func TestSequentialKeys(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		k := keys.Uint64Key(uint64(i))
 		model[string(k)] = uint64(i)
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	verifyModel(t, tr, model)
 }
@@ -193,7 +193,7 @@ func TestSequentialKeys(t *testing.T) {
 func TestSeekSemantics(t *testing.T) {
 	tr := newTestTrie(64)
 	for _, k := range []string{"b", "d", "f"} {
-		must(t, tr.Set([]byte(k), uint64(k[0])))
+		mustSet(t, tr, []byte(k), uint64(k[0]))
 	}
 	cases := []struct {
 		seek string
@@ -225,7 +225,7 @@ func TestPredecessorSuccessor(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		k := keys.Uint64Key(uint64(i * 10))
 		ks = append(ks, k)
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	for i := 0; i < 1000; i++ {
 		probe := keys.Uint64Key(uint64(i))
@@ -263,7 +263,7 @@ func TestPredecessorSuccessor(t *testing.T) {
 func TestScanCount(t *testing.T) {
 	tr := newTestTrie(256)
 	for i := 0; i < 100; i++ {
-		must(t, tr.Set(keys.Uint64Key(uint64(i)), uint64(i)))
+		mustSet(t, tr, keys.Uint64Key(uint64(i)), uint64(i))
 	}
 	var got []uint64
 	n, err := tr.Scan(keys.Uint64Key(10), 25, func(k []byte, v uint64) bool {
@@ -292,7 +292,7 @@ func TestResizeGrowth(t *testing.T) {
 	for i := 0; i < 3000; i++ {
 		k := randKey(rng, 1+rng.Intn(16))
 		model[string(k)] = uint64(i)
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	verifyModel(t, tr, model)
 	if g := tr.gen.Load(); g == 0 {
@@ -305,7 +305,7 @@ func TestTableFullWithoutResize(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	var sawFull bool
 	for i := 0; i < 5000; i++ {
-		err := tr.Set(randKey(rng, 8), uint64(i))
+		_, err := tr.Set(randKey(rng, 8), uint64(i))
 		if err == ErrTableFull {
 			sawFull = true
 			break
@@ -324,7 +324,7 @@ func TestDisableLeafList(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		k := randKey(rng, 8)
 		model[string(k)] = uint64(i)
-		must(t, tr.Set(k, uint64(i)))
+		mustSet(t, tr, k, uint64(i))
 	}
 	for k, v := range model {
 		if got, ok := tr.Get([]byte(k)); !ok || got != v {
@@ -340,7 +340,7 @@ func TestStats(t *testing.T) {
 	tr := newTestTrie(4096)
 	rng := rand.New(rand.NewSource(6))
 	for i := 0; i < 5000; i++ {
-		must(t, tr.Set(keys.Uint64Key(rng.Uint64()), uint64(i)))
+		mustSet(t, tr, keys.Uint64Key(rng.Uint64()), uint64(i))
 	}
 	st := tr.Stats()
 	if st.Leaves != tr.Len() {
@@ -355,6 +355,13 @@ func TestStats(t *testing.T) {
 }
 
 // --- helpers ---
+
+func mustSet(t *testing.T, tr *Trie, k []byte, v uint64) {
+	t.Helper()
+	if _, err := tr.Set(k, v); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func must(t *testing.T, err error) {
 	t.Helper()

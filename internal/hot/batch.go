@@ -1,0 +1,20 @@
+package hot
+
+import "repro/internal/index"
+
+// Index v2 batch and cursor operations, satisfied with the shared loop-based
+// fallbacks: this engine's probes are dependent memory accesses, so there is
+// no cross-key MLP to harvest by interleaving them (unlike the Cuckoo Trie).
+
+// MultiGet implements index.Index with one Get per key.
+func (t *Tree) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	index.FallbackMultiGet(t, keys, vals, found)
+}
+
+// MultiSet implements index.Index with one Set per key.
+func (t *Tree) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(t, keys, vals, errs)
+}
+
+// NewCursor implements index.Index with a paginated cursor over Scan.
+func (t *Tree) NewCursor() index.Cursor { return index.NewScanCursor(t) }

@@ -115,14 +115,14 @@ func (t *Tree) Get(key []byte) (uint64, bool) {
 	return 0, false
 }
 
-// Set inserts or updates key.
-func (t *Tree) Set(key []byte, value uint64) error {
+// Set inserts or updates key. added reports whether key was newly inserted.
+func (t *Tree) Set(key []byte, value uint64) (added bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.root == nil {
 		t.root = &node{key: append([]byte(nil), key...), val: value}
 		t.size = 1
-		return nil
+		return true, nil
 	}
 	// Find the best-matching leaf.
 	n := t.root
@@ -136,7 +136,7 @@ func (t *Tree) Set(key []byte, value uint64) error {
 	diff := firstDiffBit(n.key, key)
 	if diff < 0 {
 		n.val = value
-		return nil
+		return false, nil
 	}
 	nl := &node{key: append([]byte(nil), key...), val: value}
 	// Insert the new internal node at the position where diff fits: walk
@@ -155,7 +155,7 @@ func (t *Tree) Set(key []byte, value uint64) error {
 			inner.minLeaf = inner.left.subMin()
 			*link = inner
 			t.size++
-			return nil
+			return true, nil
 		}
 		if !cur.isLeaf() && bytes.Compare(key, cur.minLeaf.key) < 0 {
 			cur.minLeaf = nl

@@ -1,0 +1,115 @@
+package index
+
+import "bytes"
+
+// Fallback helpers: correct loop-based implementations of the batch and
+// cursor portions of Index v2 in terms of an engine's point operations.
+// Baselines without a native batch path (ART, B-tree, HOT, Wormhole, skip
+// list, MlpIndex) delegate to these so every engine satisfies the same
+// interface; the Cuckoo Trie overrides MultiGet with its interleaved probe
+// path in internal/core.
+
+// FallbackMultiGet implements Index.MultiGet with one Get per key.
+func FallbackMultiGet(ix Index, keys [][]byte, vals []uint64, found []bool) {
+	for i, k := range keys {
+		vals[i], found[i] = ix.Get(k)
+	}
+}
+
+// FallbackMultiSet implements Index.MultiSet with one Set per key, returning
+// the number of keys newly added. Later keys are attempted even when earlier
+// ones fail.
+func FallbackMultiSet(ix Index, keys [][]byte, vals []uint64, errs []error) int {
+	added := 0
+	for i, k := range keys {
+		a, err := ix.Set(k, vals[i])
+		if errs != nil {
+			errs[i] = err
+		}
+		if err == nil && a {
+			added++
+		}
+	}
+	return added
+}
+
+// scanCursorPage is how many keys a ScanCursor fetches per underlying Scan.
+const scanCursorPage = 64
+
+// scanCursor adapts a callback-based Scan into a Cursor by buffering
+// fixed-size pages of (key, value) pairs and re-seeking from the last key
+// when a page drains. With concurrent writers it provides the same
+// best-effort consistency as the underlying Scan.
+type scanCursor struct {
+	ix   Index
+	keys [][]byte
+	vals []uint64
+	pos  int
+	more bool // last page was full: the stream may continue
+}
+
+// NewScanCursor returns a Cursor over ix implemented with paged Scan calls.
+// Engines whose Scan visits nothing (e.g. MlpIndex) yield a cursor that is
+// never valid, matching their documented lack of ordered iteration.
+func NewScanCursor(ix Index) Cursor { return &scanCursor{ix: ix} }
+
+// fill loads one page starting at start; when skipEqual is set, a first key
+// equal to start (the previous page's last key) is skipped.
+func (c *scanCursor) fill(start []byte, skipEqual bool) {
+	c.keys = c.keys[:0]
+	c.vals = c.vals[:0]
+	n := c.ix.Scan(start, scanCursorPage, func(k []byte, v uint64) bool {
+		c.keys = append(c.keys, append([]byte(nil), k...))
+		c.vals = append(c.vals, v)
+		return true
+	})
+	c.more = n == scanCursorPage
+	c.pos = 0
+	if skipEqual && len(c.keys) > 0 && bytes.Equal(c.keys[0], start) {
+		c.pos = 1
+	}
+}
+
+func (c *scanCursor) Seek(start []byte) bool {
+	c.fill(start, false)
+	return c.Valid()
+}
+
+func (c *scanCursor) Valid() bool { return c.pos < len(c.keys) }
+
+func (c *scanCursor) Key() []byte {
+	if !c.Valid() {
+		return nil
+	}
+	return c.keys[c.pos]
+}
+
+func (c *scanCursor) Value() uint64 {
+	if !c.Valid() {
+		return 0
+	}
+	return c.vals[c.pos]
+}
+
+func (c *scanCursor) Next() bool {
+	if !c.Valid() {
+		return false
+	}
+	c.pos++
+	if c.pos < len(c.keys) {
+		return true
+	}
+	if !c.more {
+		return false
+	}
+	last := c.keys[len(c.keys)-1]
+	c.fill(last, true)
+	return c.Valid()
+}
+
+func (c *scanCursor) Close() {
+	c.keys = nil
+	c.vals = nil
+	c.pos = 0
+	c.more = false
+}

@@ -16,3 +16,48 @@ func TestIsConcurrent(t *testing.T) {
 		t.Fatal("STX should not be concurrent")
 	}
 }
+
+// TestScanCursorPaging drives the fallback cursor across several page
+// boundaries (page size 64) and checks it against a full callback scan.
+func TestScanCursorPaging(t *testing.T) {
+	tr := btree.New()
+	const n = 300
+	for i := 0; i < n; i++ {
+		k := []byte{byte(i >> 8), byte(i)}
+		if added, err := tr.Set(k, uint64(i)); err != nil || !added {
+			t.Fatalf("Set(%d) = %v, %v", i, added, err)
+		}
+	}
+	c := tr.NewCursor()
+	defer c.Close()
+	i := 0
+	for ok := c.Seek(nil); ok; ok = c.Next() {
+		if c.Value() != uint64(i) {
+			t.Fatalf("cursor[%d] value = %d", i, c.Value())
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("cursor visited %d keys, want %d", i, n)
+	}
+}
+
+func TestFallbackBatchHelpers(t *testing.T) {
+	tr := btree.New()
+	ks := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	vals := []uint64{1, 2, 3}
+	if added := index.FallbackMultiSet(tr, ks, vals, nil); added != 3 {
+		t.Fatalf("FallbackMultiSet added %d", added)
+	}
+	got := make([]uint64, 4)
+	found := make([]bool, 4)
+	index.FallbackMultiGet(tr, append(ks, []byte("zz")), got, found)
+	for i := range ks {
+		if !found[i] || got[i] != vals[i] {
+			t.Fatalf("FallbackMultiGet[%d] = %d,%v", i, got[i], found[i])
+		}
+	}
+	if found[3] {
+		t.Fatal("FallbackMultiGet found a missing key")
+	}
+}

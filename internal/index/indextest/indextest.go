@@ -1,6 +1,8 @@
 // Package indextest provides a reusable conformance suite run against every
 // index.Index implementation (Cuckoo Trie and all baselines), so that the
-// benchmark harness compares functionally equivalent structures.
+// benchmark harness compares functionally equivalent structures. It covers
+// the full API v2 surface: point operations, the Set added-flag, batched
+// MultiGet/MultiSet, callback scans, and cursors.
 package indextest
 
 import (
@@ -19,7 +21,8 @@ type Options struct {
 	// FixedKeyLen restricts generated keys to exactly this many bytes
 	// (MlpIndex supports only 8-byte keys).
 	FixedKeyLen int
-	// NoScan skips ordered-iteration tests (MlpIndex has no scans).
+	// NoScan skips ordered-iteration tests (MlpIndex has no scans); cursor
+	// tests then only assert that the cursor is never valid.
 	NoScan bool
 	// NoDelete skips deletion tests.
 	NoDelete bool
@@ -31,10 +34,15 @@ func Run(t *testing.T, mk func(capacity int) index.Index, opts Options) {
 	t.Run("Empty", func(t *testing.T) { testEmpty(t, mk, opts) })
 	t.Run("SetGet", func(t *testing.T) { testSetGet(t, mk, opts) })
 	t.Run("Update", func(t *testing.T) { testUpdate(t, mk, opts) })
+	t.Run("SetAdded", func(t *testing.T) { testSetAdded(t, mk, opts) })
+	t.Run("MultiGet", func(t *testing.T) { testMultiGet(t, mk, opts) })
+	t.Run("MultiSet", func(t *testing.T) { testMultiSet(t, mk, opts) })
 	t.Run("RandomModel", func(t *testing.T) { testRandomModel(t, mk, opts) })
+	t.Run("Cursor", func(t *testing.T) { testCursor(t, mk, opts) })
 	if !opts.NoScan {
 		t.Run("ScanOrder", func(t *testing.T) { testScanOrder(t, mk, opts) })
 		t.Run("ScanBounds", func(t *testing.T) { testScanBounds(t, mk, opts) })
+		t.Run("CursorOrder", func(t *testing.T) { testCursorOrder(t, mk, opts) })
 	}
 	if !opts.NoDelete {
 		t.Run("Delete", func(t *testing.T) { testDelete(t, mk, opts) })
@@ -58,6 +66,16 @@ func u64key(v uint64) []byte {
 	return b[:]
 }
 
+// mustSet is a Set that fails the test on error and returns the added flag.
+func mustSet(t *testing.T, ix index.Index, k []byte, v uint64) bool {
+	t.Helper()
+	added, err := ix.Set(k, v)
+	if err != nil {
+		t.Fatalf("Set(%x): %v", k, err)
+	}
+	return added
+}
+
 func testEmpty(t *testing.T, mk func(int) index.Index, opts Options) {
 	ix := mk(16)
 	if ix.Len() != 0 {
@@ -66,6 +84,27 @@ func testEmpty(t *testing.T, mk func(int) index.Index, opts Options) {
 	if _, ok := ix.Get(u64key(42)); ok {
 		t.Fatal("Get on empty index")
 	}
+	// Empty-batch edge cases: must be no-ops, not panics.
+	ix.MultiGet(nil, nil, nil)
+	if added := ix.MultiSet(nil, nil, nil); added != 0 {
+		t.Fatalf("empty MultiSet added %d", added)
+	}
+	// Batch ops against an empty index.
+	vals := make([]uint64, 2)
+	found := []bool{true, true}
+	ix.MultiGet([][]byte{u64key(1), u64key(2)}, vals, found)
+	if found[0] || found[1] {
+		t.Fatal("MultiGet found keys in empty index")
+	}
+	// A cursor over an empty index is never valid.
+	c := ix.NewCursor()
+	if c.Valid() {
+		t.Fatal("fresh cursor valid on empty index")
+	}
+	if c.Seek(nil) || c.Valid() {
+		t.Fatal("cursor seek on empty index succeeded")
+	}
+	c.Close()
 	if !opts.NoScan {
 		n := ix.Scan(nil, 10, func([]byte, uint64) bool { return true })
 		if n != 0 {
@@ -77,8 +116,8 @@ func testEmpty(t *testing.T, mk func(int) index.Index, opts Options) {
 func testSetGet(t *testing.T, mk func(int) index.Index, opts Options) {
 	ix := mk(1024)
 	for i := 0; i < 500; i++ {
-		if err := ix.Set(u64key(uint64(i*7)), uint64(i)); err != nil {
-			t.Fatal(err)
+		if !mustSet(t, ix, u64key(uint64(i*7)), uint64(i)) {
+			t.Fatalf("Set(%d) of fresh key reported update", i*7)
 		}
 	}
 	for i := 0; i < 500; i++ {
@@ -97,13 +136,192 @@ func testSetGet(t *testing.T, mk func(int) index.Index, opts Options) {
 func testUpdate(t *testing.T, mk func(int) index.Index, opts Options) {
 	ix := mk(64)
 	k := u64key(99)
-	ix.Set(k, 1)
-	ix.Set(k, 2)
+	mustSet(t, ix, k, 1)
+	mustSet(t, ix, k, 2)
 	if v, _ := ix.Get(k); v != 2 {
 		t.Fatalf("update: v = %d", v)
 	}
 	if ix.Len() != 1 {
 		t.Fatalf("Len = %d after update", ix.Len())
+	}
+}
+
+func testSetAdded(t *testing.T, mk func(int) index.Index, opts Options) {
+	ix := mk(256)
+	k := u64key(7)
+	if !mustSet(t, ix, k, 1) {
+		t.Fatal("first Set: added = false")
+	}
+	if mustSet(t, ix, k, 2) {
+		t.Fatal("second Set of same key: added = true")
+	}
+	if v, _ := ix.Get(k); v != 2 {
+		t.Fatalf("value after update = %d", v)
+	}
+	// Interleave fresh keys and updates; the added flags must track exactly.
+	rng := rand.New(rand.NewSource(47))
+	seen := map[string]bool{}
+	seen[string(k)] = true
+	var pool [][]byte
+	pool = append(pool, k)
+	for i := 0; i < 2000; i++ {
+		var kk []byte
+		if rng.Intn(3) == 0 {
+			kk = pool[rng.Intn(len(pool))]
+		} else {
+			kk = opts.key(rng)
+		}
+		wantAdded := !seen[string(kk)]
+		if got := mustSet(t, ix, kk, uint64(i)); got != wantAdded {
+			t.Fatalf("Set(%x) added = %v, want %v", kk, got, wantAdded)
+		}
+		if wantAdded {
+			seen[string(kk)] = true
+			pool = append(pool, kk)
+		}
+	}
+	if ix.Len() != len(seen) {
+		t.Fatalf("Len = %d, distinct keys %d", ix.Len(), len(seen))
+	}
+	if !opts.NoDelete {
+		if !ix.Delete(k) {
+			t.Fatal("Delete of live key failed")
+		}
+		if !mustSet(t, ix, k, 3) {
+			t.Fatal("re-Set after Delete: added = false")
+		}
+	}
+}
+
+func testMultiGet(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(48))
+	ix := mk(1 << 13)
+	model := map[string]uint64{}
+	var stored [][]byte
+	for i := 0; i < 5000; i++ {
+		k := opts.key(rng)
+		mustSet(t, ix, k, uint64(i))
+		model[string(k)] = uint64(i)
+		stored = append(stored, k)
+	}
+	// Mixed batch: present keys, missing keys, and duplicates.
+	for _, batchSize := range []int{1, 2, 8, 64, 257} {
+		batch := make([][]byte, batchSize)
+		for j := range batch {
+			switch j % 3 {
+			case 0, 1:
+				batch[j] = stored[rng.Intn(len(stored))]
+			default:
+				batch[j] = opts.key(rng) // almost surely missing
+			}
+		}
+		if batchSize > 2 {
+			batch[batchSize-1] = batch[0] // duplicate within the batch
+		}
+		vals := make([]uint64, batchSize)
+		found := make([]bool, batchSize)
+		ix.MultiGet(batch, vals, found)
+		for j, k := range batch {
+			want, ok := model[string(k)]
+			if found[j] != ok {
+				t.Fatalf("batch %d: MultiGet found[%d] = %v, want %v (key %x)",
+					batchSize, j, found[j], ok, k)
+			}
+			if ok && vals[j] != want {
+				t.Fatalf("batch %d: MultiGet vals[%d] = %d, want %d",
+					batchSize, j, vals[j], want)
+			}
+		}
+	}
+	// All-missing batch.
+	missing := make([][]byte, 16)
+	for j := range missing {
+		missing[j] = opts.key(rng)
+		for {
+			if _, ok := model[string(missing[j])]; !ok {
+				break
+			}
+			missing[j] = opts.key(rng)
+		}
+	}
+	vals := make([]uint64, len(missing))
+	found := make([]bool, len(missing))
+	for j := range found {
+		found[j] = true // must be overwritten
+	}
+	ix.MultiGet(missing, vals, found)
+	for j := range missing {
+		if _, ok := model[string(missing[j])]; !ok && found[j] {
+			t.Fatalf("MultiGet reported missing key %x as found", missing[j])
+		}
+	}
+}
+
+func testMultiSet(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(49))
+	ix := mk(1 << 12)
+	// Fresh batch: all keys added.
+	n := 500
+	ks := make([][]byte, 0, n)
+	vals := make([]uint64, 0, n)
+	seen := map[string]bool{}
+	for len(ks) < n {
+		k := opts.key(rng)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		ks = append(ks, k)
+		vals = append(vals, uint64(len(ks)))
+	}
+	errs := make([]error, n)
+	if added := ix.MultiSet(ks, vals, errs); added != n {
+		t.Fatalf("MultiSet added %d of %d fresh keys", added, n)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("MultiSet errs[%d] = %v", i, errs[i])
+		}
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d after MultiSet, want %d", ix.Len(), n)
+	}
+	// Re-setting the same batch updates in place: zero added, values change.
+	for i := range vals {
+		vals[i] += 1000
+	}
+	if added := ix.MultiSet(ks, vals, nil); added != 0 {
+		t.Fatalf("MultiSet re-set added %d, want 0", added)
+	}
+	got := make([]uint64, n)
+	found := make([]bool, n)
+	ix.MultiGet(ks, got, found)
+	for i := range ks {
+		if !found[i] || got[i] != vals[i] {
+			t.Fatalf("after MultiSet update: key %d = %d,%v want %d",
+				i, got[i], found[i], vals[i])
+		}
+	}
+	// Half-and-half batch: updates mixed with fresh inserts.
+	mixed := make([][]byte, 0, 100)
+	mvals := make([]uint64, 0, 100)
+	wantAdded := 0
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			mixed = append(mixed, ks[rng.Intn(len(ks))])
+		} else {
+			k := opts.key(rng)
+			if seen[string(k)] {
+				continue
+			}
+			seen[string(k)] = true
+			mixed = append(mixed, k)
+			wantAdded++
+		}
+		mvals = append(mvals, uint64(i))
+	}
+	if added := ix.MultiSet(mixed, mvals, nil); added != wantAdded {
+		t.Fatalf("mixed MultiSet added %d, want %d", added, wantAdded)
 	}
 }
 
@@ -114,9 +332,7 @@ func testRandomModel(t *testing.T, mk func(int) index.Index, opts Options) {
 	for i := 0; i < 10000; i++ {
 		k := opts.key(rng)
 		model[string(k)] = uint64(i)
-		if err := ix.Set(k, uint64(i)); err != nil {
-			t.Fatal(err)
-		}
+		mustSet(t, ix, k, uint64(i))
 	}
 	if ix.Len() != len(model) {
 		t.Fatalf("Len = %d, model %d", ix.Len(), len(model))
@@ -175,6 +391,98 @@ func testScanBounds(t *testing.T, mk func(int) index.Index, opts Options) {
 	n := ix.Scan(nil, 100, func(k []byte, v uint64) bool { return v < 10 })
 	if n != 6 {
 		t.Fatalf("early-stop visited %d, want 6", n)
+	}
+}
+
+// testCursor covers cursor mechanics that hold for every engine, including
+// scanless ones (whose cursors are simply never valid).
+func testCursor(t *testing.T, mk func(int) index.Index, opts Options) {
+	ix := mk(1 << 10)
+	for i := 0; i < 100; i++ {
+		mustSet(t, ix, u64key(uint64(i*2)), uint64(i*2))
+	}
+	c := ix.NewCursor()
+	defer c.Close()
+	if c.Valid() {
+		t.Fatal("unpositioned cursor is valid")
+	}
+	if opts.NoScan {
+		if c.Seek(nil) || c.Valid() {
+			t.Fatal("scanless engine produced a valid cursor")
+		}
+		return
+	}
+	// Seek to an absent key lands on its successor.
+	if !c.Seek(u64key(31)) {
+		t.Fatal("Seek(31) found nothing")
+	}
+	for i, want := range []uint64{32, 34, 36, 38} {
+		if !c.Valid() || c.Value() != want || !bytes.Equal(c.Key(), u64key(want)) {
+			t.Fatalf("cursor step %d: key %x value %d, want %d",
+				i, c.Key(), c.Value(), want)
+		}
+		c.Next()
+	}
+	// Seek past the maximum key: invalid, and Next stays invalid.
+	if c.Seek(u64key(10_000)) {
+		t.Fatal("Seek past end reported a key")
+	}
+	if c.Valid() || c.Next() || c.Valid() {
+		t.Fatal("cursor valid after seek past end")
+	}
+	// Re-seek after exhaustion works.
+	if !c.Seek(nil) || c.Value() != 0 {
+		t.Fatalf("re-Seek(nil) = %v value %d", c.Valid(), c.Value())
+	}
+	// Walking off the end invalidates.
+	steps := 0
+	for c.Valid() {
+		steps++
+		if steps > 200 {
+			t.Fatal("cursor did not terminate")
+		}
+		c.Next()
+	}
+	if steps != 100 {
+		t.Fatalf("cursor walked %d keys, want 100", steps)
+	}
+}
+
+// testCursorOrder cross-checks a full cursor walk against Scan on a random
+// key set large enough to exercise page boundaries in adapted cursors.
+func testCursorOrder(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(46))
+	ix := mk(1 << 13)
+	for i := 0; i < 3000; i++ {
+		mustSet(t, ix, opts.key(rng), uint64(i))
+	}
+	var want []string
+	var wantVals []uint64
+	ix.Scan(nil, 1<<30, func(k []byte, v uint64) bool {
+		want = append(want, string(k))
+		wantVals = append(wantVals, v)
+		return true
+	})
+	c := ix.NewCursor()
+	defer c.Close()
+	i := 0
+	for ok := c.Seek(nil); ok; ok = c.Next() {
+		if i >= len(want) {
+			t.Fatalf("cursor visited more than %d keys", len(want))
+		}
+		if string(c.Key()) != want[i] || c.Value() != wantVals[i] {
+			t.Fatalf("cursor[%d] = %x=%d, want %x=%d",
+				i, c.Key(), c.Value(), want[i], wantVals[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("cursor visited %d keys, scan visited %d", i, len(want))
+	}
+	// Mid-stream seek agrees with a bounded scan.
+	mid := []byte(want[len(want)/2])
+	if !c.Seek(mid) || !bytes.Equal(c.Key(), mid) {
+		t.Fatalf("mid-stream Seek(%x) landed on %x", mid, c.Key())
 	}
 }
 

@@ -7,7 +7,12 @@
 // Cuckoo Trie's next-leaf prefetch overlaps with system work (§4.4).
 //
 // Commands: PING, ZADD key member value, ZSCORE key member,
-// ZRANGEBYLEX key start count, ZREM key member, DBSIZE, FLUSHALL.
+// ZMSCORE key member [member ...], ZRANGEBYLEX key start count,
+// ZREM key member, DBSIZE, FLUSHALL.
+//
+// The server drains pipelined commands in batches: runs of ZSCOREs against
+// the same sorted set collapse into one MultiGet, so an MLP-aware engine
+// overlaps the whole pipeline's DRAM misses (§4.4 generalized across keys).
 package miniredis
 
 import (
@@ -96,34 +101,97 @@ func (s *Server) set(key string) index.Index {
 	return ix
 }
 
+// maxPipelineBatch bounds how many pipelined commands one dispatch drains.
+const maxPipelineBatch = 128
+
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
+	batch := make([][][]byte, 0, maxPipelineBatch)
 	for {
 		cmd, err := r.ReadCommand()
 		if err != nil {
 			w.Flush()
 			return
 		}
-		s.dispatch(w, cmd)
-		// Flush when no more pipelined commands are pending is handled by
-		// flushing after every dispatch batch; bufio keeps this cheap.
+		// Drain any further pipelined commands already buffered: the batch is
+		// dispatched as a unit so independent lookups can share one MultiGet.
+		// CommandBuffered (not Buffered) gates the drain so a half-received
+		// command never blocks the reads while replies are withheld.
+		batch = append(batch[:0], cmd)
+		for r.CommandBuffered() && len(batch) < maxPipelineBatch {
+			cmd, err = r.ReadCommand()
+			if err != nil {
+				break
+			}
+			batch = append(batch, cmd)
+		}
+		s.dispatchBatch(w, batch)
+		if err != nil { // tail read error: answer what we got, then drop
+			w.Flush()
+			return
+		}
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(w *resp.Writer, cmd [][]byte) {
-	if len(cmd) == 0 {
-		w.WriteError("empty command")
-		return
-	}
+// dispatchBatch executes a pipeline of commands. Consecutive ZSCOREs against
+// the same key collapse into a single MultiGet; everything else dispatches
+// one-by-one. Replies are written in command order either way.
+func (s *Server) dispatchBatch(w *resp.Writer, batch [][][]byte) {
 	if s.serial {
 		s.cmdMu.Lock()
 		defer s.cmdMu.Unlock()
+	}
+	for i := 0; i < len(batch); {
+		// Find a run of ZSCOREs with identical set keys.
+		j := i
+		for j < len(batch) && isZScore(batch[j]) &&
+			(j == i || string(batch[j][1]) == string(batch[i][1])) {
+			j++
+		}
+		if j-i >= 2 {
+			s.zscoreBatch(w, batch[i][1], batch[i:j])
+			i = j
+			continue
+		}
+		s.dispatchOne(w, batch[i])
+		i++
+	}
+}
+
+func isZScore(cmd [][]byte) bool {
+	return len(cmd) == 3 && strings.EqualFold(string(cmd[0]), "ZSCORE")
+}
+
+// zscoreBatch answers a run of same-set ZSCOREs with one MultiGet.
+func (s *Server) zscoreBatch(w *resp.Writer, key []byte, cmds [][][]byte) {
+	members := make([][]byte, len(cmds))
+	for i, c := range cmds {
+		members[i] = c[2]
+	}
+	vals := make([]uint64, len(members))
+	found := make([]bool, len(members))
+	s.set(string(key)).MultiGet(members, vals, found)
+	for i := range members {
+		if found[i] {
+			w.WriteBulk([]byte(strconv.FormatUint(vals[i], 10)))
+		} else {
+			w.WriteBulk(nil)
+		}
+	}
+}
+
+// dispatchOne executes a single command. The caller holds cmdMu when the
+// server runs in serial mode.
+func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
+	if len(cmd) == 0 {
+		w.WriteError("empty command")
+		return
 	}
 	var sink uint64
 	switch strings.ToUpper(string(cmd[0])) {
@@ -139,11 +207,18 @@ func (s *Server) dispatch(w *resp.Writer, cmd [][]byte) {
 			w.WriteError("value is not an integer")
 			return
 		}
-		if err := s.set(string(cmd[1])).Set(cmd[2], v); err != nil {
+		added, err := s.set(string(cmd[1])).Set(cmd[2], v)
+		if err != nil {
 			w.WriteError(err.Error())
 			return
 		}
-		w.WriteInt(1)
+		// Redis semantics: reply 1 only for a newly added member, 0 when an
+		// existing member's score was updated.
+		if added {
+			w.WriteInt(1)
+		} else {
+			w.WriteInt(0)
+		}
 	case "ZSCORE":
 		if len(cmd) != 3 {
 			w.WriteError("wrong number of arguments for ZSCORE")
@@ -155,6 +230,24 @@ func (s *Server) dispatch(w *resp.Writer, cmd [][]byte) {
 			return
 		}
 		w.WriteBulk([]byte(strconv.FormatUint(v, 10)))
+	case "ZMSCORE":
+		// ZMSCORE key member [member ...] — batched scores via MultiGet.
+		if len(cmd) < 3 {
+			w.WriteError("wrong number of arguments for ZMSCORE")
+			return
+		}
+		members := cmd[2:]
+		vals := make([]uint64, len(members))
+		found := make([]bool, len(members))
+		s.set(string(cmd[1])).MultiGet(members, vals, found)
+		w.WriteArrayHeader(len(members))
+		for i := range members {
+			if found[i] {
+				w.WriteBulk([]byte(strconv.FormatUint(vals[i], 10)))
+			} else {
+				w.WriteBulk(nil)
+			}
+		}
 	case "ZREM":
 		if len(cmd) != 3 {
 			w.WriteError("wrong number of arguments for ZREM")

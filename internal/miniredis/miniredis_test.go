@@ -2,7 +2,9 @@ package miniredis
 
 import (
 	"fmt"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/skiplist"
@@ -30,6 +32,13 @@ func TestPingAndBasicOps(t *testing.T) {
 	}
 	if r, _ := cl.Do([]byte("ZADD"), []byte("s"), []byte("alice"), []byte("7")); r != int64(1) {
 		t.Fatalf("ZADD = %v", r)
+	}
+	// Redis semantics: updating an existing member's score replies 0.
+	if r, _ := cl.Do([]byte("ZADD"), []byte("s"), []byte("alice"), []byte("9")); r != int64(0) {
+		t.Fatalf("ZADD update = %v, want 0", r)
+	}
+	if r, _ := cl.Do([]byte("ZADD"), []byte("s"), []byte("alice"), []byte("7")); r != int64(0) {
+		t.Fatalf("ZADD re-update = %v, want 0", r)
 	}
 	if r, _ := cl.Do([]byte("ZSCORE"), []byte("s"), []byte("alice")); string(r.([]byte)) != "7" {
 		t.Fatalf("ZSCORE = %v", r)
@@ -73,6 +82,142 @@ func TestRangeAndPipeline(t *testing.T) {
 		if string(m.([]byte)) != want {
 			t.Fatalf("range[%d] = %s, want %s", i, m, want)
 		}
+	}
+}
+
+func TestZMScore(t *testing.T) {
+	_, cl := newTestServer(t)
+	for i := 0; i < 20; i++ {
+		cl.Do([]byte("ZADD"), []byte("s"), []byte(fmt.Sprintf("m%02d", i)), []byte(fmt.Sprint(i)))
+	}
+	r, err := cl.Do([]byte("ZMSCORE"), []byte("s"),
+		[]byte("m03"), []byte("nope"), []byte("m17"), []byte("m03"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := r.([]interface{})
+	if len(arr) != 4 {
+		t.Fatalf("ZMSCORE returned %d elements", len(arr))
+	}
+	want := []interface{}{"3", nil, "17", "3"}
+	for i, w := range want {
+		if w == nil {
+			if arr[i].([]byte) != nil {
+				t.Fatalf("ZMSCORE[%d] = %v, want nil", i, arr[i])
+			}
+			continue
+		}
+		if string(arr[i].([]byte)) != w.(string) {
+			t.Fatalf("ZMSCORE[%d] = %s, want %s", i, arr[i], w)
+		}
+	}
+	// Arity error.
+	if r, _ := cl.Do([]byte("ZMSCORE"), []byte("s")); fmt.Sprint(r) == "" {
+		t.Fatal("expected arity error")
+	}
+}
+
+// TestPipelinedZScoreBatch drives the batched dispatch path: a pipeline of
+// ZSCOREs against one set is collapsed into MultiGet calls server-side, and
+// the replies must still come back in order with correct values.
+func TestPipelinedZScoreBatch(t *testing.T) {
+	_, cl := newTestServer(t)
+	var load [][][]byte
+	for i := 0; i < 300; i++ {
+		load = append(load, [][]byte{
+			[]byte("ZADD"), []byte("s"), []byte(fmt.Sprintf("m%03d", i)), []byte(fmt.Sprint(i)),
+		})
+	}
+	if _, err := cl.Pipeline(load); err != nil {
+		t.Fatal(err)
+	}
+	// A pure-ZSCORE pipeline longer than the server's batch cap, with hits
+	// and misses interleaved.
+	var pipe [][][]byte
+	for i := 0; i < 200; i++ {
+		m := fmt.Sprintf("m%03d", i*2) // misses for i*2 >= 300
+		pipe = append(pipe, [][]byte{[]byte("ZSCORE"), []byte("s"), []byte(m)})
+	}
+	replies, err := cl.Pipeline(pipe)
+	if err != nil || len(replies) != 200 {
+		t.Fatalf("pipeline: %d replies, err %v", len(replies), err)
+	}
+	for i, r := range replies {
+		if i*2 < 300 {
+			if string(r.([]byte)) != fmt.Sprint(i*2) {
+				t.Fatalf("reply[%d] = %v, want %d", i, r, i*2)
+			}
+		} else if r.([]byte) != nil {
+			t.Fatalf("reply[%d] = %v, want nil", i, r)
+		}
+	}
+	// A mixed pipeline: ZSCORE runs interrupted by writes and other sets
+	// must still answer in order with pre-write values visible in order.
+	mixed := [][][]byte{
+		{[]byte("ZSCORE"), []byte("s"), []byte("m000")},
+		{[]byte("ZSCORE"), []byte("s"), []byte("m001")},
+		{[]byte("ZADD"), []byte("s"), []byte("m000"), []byte("999")},
+		{[]byte("ZSCORE"), []byte("s"), []byte("m000")},
+		{[]byte("ZSCORE"), []byte("other"), []byte("m000")},
+		{[]byte("PING")},
+	}
+	rs, err := cl.Pipeline(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rs[0].([]byte)) != "0" || string(rs[1].([]byte)) != "1" {
+		t.Fatalf("pre-write scores = %v %v", rs[0], rs[1])
+	}
+	if rs[2] != int64(0) {
+		t.Fatalf("ZADD update reply = %v, want 0", rs[2])
+	}
+	if string(rs[3].([]byte)) != "999" {
+		t.Fatalf("post-write score = %v, want 999", rs[3])
+	}
+	if rs[4].([]byte) != nil {
+		t.Fatalf("other-set score = %v, want nil", rs[4])
+	}
+	if rs[5] != "PONG" {
+		t.Fatalf("PING = %v", rs[5])
+	}
+}
+
+// TestPartialPipelineDoesNotStall: a complete command followed by a
+// half-received next command must still get its reply immediately — the
+// batch drain must not block on the partial command while withholding the
+// finished one's reply.
+func TestPartialPipelineDoesNotStall(t *testing.T) {
+	srv := NewServer(func(c int) index.Index { return skiplist.New(1) }, 64, true)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One complete PING plus the first bytes of a second command.
+	if _, err := conn.Write([]byte("*1\r\n$4\r\nPING\r\n*1\r\n$4\r\nPI")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("no reply for complete command behind a partial one: %v", err)
+	}
+	if string(buf[:n]) != "+PONG\r\n" {
+		t.Fatalf("reply = %q", buf[:n])
+	}
+	// Completing the second command yields its reply too.
+	if _, err := conn.Write([]byte("NG\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = conn.Read(buf)
+	if err != nil || string(buf[:n]) != "+PONG\r\n" {
+		t.Fatalf("completed second command reply = %q, %v", buf[:n], err)
 	}
 }
 

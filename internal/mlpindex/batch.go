@@ -1,0 +1,21 @@
+package mlpindex
+
+import "repro/internal/index"
+
+// Index v2 batch and cursor operations, satisfied with the shared loop-based
+// fallbacks: a MlpIndex lookup is already a single direct hash probe, so a
+// batch has little cross-key staging to gain, and the engine has no ordered
+// iteration (the cursor is never valid, like Scan).
+
+// MultiGet implements index.Index with one Get per key.
+func (ix *Index) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	index.FallbackMultiGet(ix, keys, vals, found)
+}
+
+// MultiSet implements index.Index with one Set per key.
+func (ix *Index) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(ix, keys, vals, errs)
+}
+
+// NewCursor implements index.Index with a paginated cursor over Scan.
+func (ix *Index) NewCursor() index.Cursor { return index.NewScanCursor(ix) }

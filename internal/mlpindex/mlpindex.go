@@ -113,10 +113,11 @@ func (ix *Index) Get(key []byte) (uint64, bool) {
 	return ix.tab[i].value, true
 }
 
-// Set inserts or updates key, creating prefix nodes along the path.
-func (ix *Index) Set(key []byte, value uint64) error {
+// Set inserts or updates key, creating prefix nodes along the path. added
+// reports whether key was newly inserted.
+func (ix *Index) Set(key []byte, value uint64) (added bool, err error) {
 	if len(key) != KeyLen {
-		return ErrBadKeyLen
+		return false, ErrBadKeyLen
 	}
 	if ix.used*10 >= len(ix.tab)*9 {
 		ix.grow()
@@ -124,7 +125,7 @@ func (ix *Index) Set(key []byte, value uint64) error {
 	i, ok := ix.slotFor(key)
 	if ok {
 		ix.tab[i].value = value
-		return nil
+		return false, nil
 	}
 	e := &ix.tab[i]
 	e.used = true
@@ -141,7 +142,7 @@ func (ix *Index) Set(key []byte, value uint64) error {
 		nb := key[l]
 		if exists {
 			pe.children[nb>>6] |= 1 << (nb & 63)
-			return nil // all shorter prefixes already exist
+			return true, nil // all shorter prefixes already exist
 		}
 		pe.used = true
 		pe.plen = uint8(l)
@@ -149,7 +150,7 @@ func (ix *Index) Set(key []byte, value uint64) error {
 		pe.children[nb>>6] |= 1 << (nb & 63)
 		ix.used++
 	}
-	return nil
+	return true, nil
 }
 
 func (ix *Index) grow() {

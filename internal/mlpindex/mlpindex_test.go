@@ -17,7 +17,7 @@ func TestConformance(t *testing.T) {
 
 func TestRejectsBadKeyLength(t *testing.T) {
 	ix := mlpindex.New(64)
-	if err := ix.Set([]byte("short"), 1); err != mlpindex.ErrBadKeyLen {
+	if _, err := ix.Set([]byte("short"), 1); err != mlpindex.ErrBadKeyLen {
 		t.Fatalf("err = %v", err)
 	}
 	if _, ok := ix.Get([]byte("short")); ok {
@@ -33,7 +33,7 @@ func TestGrowth(t *testing.T) {
 		var k [8]byte
 		binary.BigEndian.PutUint64(k[:], rng.Uint64())
 		keys[i] = k[:]
-		if err := ix.Set(k[:], uint64(i)); err != nil {
+		if _, err := ix.Set(k[:], uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@ package resp
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,78 @@ type Reader struct {
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 64<<10)} }
+
+// Buffered reports how many decoded-but-unread bytes sit in the reader's
+// buffer — nonzero when the client has pipelined further commands behind the
+// one just read.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// CommandBuffered reports whether a COMPLETE command is already buffered, so
+// that the next ReadCommand cannot block on the network. This is what lets a
+// server drain a pipeline into one batch without withholding replies from a
+// client that has only sent part of its next command: Buffered() alone
+// counts raw bytes and would be nonzero for a half-received command.
+// Malformed buffered input reports true — ReadCommand will fail on it
+// without blocking.
+func (r *Reader) CommandBuffered() bool {
+	buf, err := r.br.Peek(r.br.Buffered())
+	if err != nil || len(buf) == 0 {
+		return false
+	}
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return false // first line still incomplete
+	}
+	if buf[0] != '*' {
+		return true // inline command: one full line is a full command
+	}
+	n, ok := parseBufferedInt(buf[1:i])
+	if !ok || n <= 0 {
+		return true // protocol error: ReadCommand errors without blocking
+	}
+	rest := buf[i+1:]
+	for j := 0; j < n; j++ {
+		k := bytes.IndexByte(rest, '\n')
+		if k < 0 {
+			return false
+		}
+		if rest[0] != '$' {
+			return true
+		}
+		ln, ok := parseBufferedInt(rest[1:k])
+		if !ok || ln < 0 {
+			return true
+		}
+		need := k + 1 + ln + 2 // length line + payload + CRLF
+		if len(rest) < need {
+			return false
+		}
+		rest = rest[need:]
+	}
+	return true
+}
+
+// parseBufferedInt parses a decimal from a RESP length line, tolerating the
+// trailing '\r'.
+func parseBufferedInt(b []byte) (int, bool) {
+	if len(b) > 0 && b[len(b)-1] == '\r' {
+		b = b[:len(b)-1]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, false
+		}
+	}
+	return n, true
+}
 
 // ReadCommand reads a client command: an array of bulk strings.
 func (r *Reader) ReadCommand() ([][]byte, error) {

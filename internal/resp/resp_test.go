@@ -74,3 +74,40 @@ func TestMalformedInput(t *testing.T) {
 		}
 	}
 }
+
+func TestCommandBuffered(t *testing.T) {
+	mk := func(in string) *Reader {
+		r := NewReader(bytes.NewBufferString(in))
+		// Prime the bufio buffer so Buffered/Peek see the bytes.
+		r.br.Peek(1)
+		return r
+	}
+	complete := []string{
+		"*1\r\n$4\r\nPING\r\n",
+		"*3\r\n$6\r\nZSCORE\r\n$1\r\ns\r\n$1\r\nm\r\n",
+		"PING\r\n",                  // inline
+		"*x\r\n",                    // malformed: errors without blocking
+		"*2\r\nnope\r\n",            // malformed bulk header
+		"*1\r\n$4\r\nPING\r\nrest",  // complete + trailing partial
+	}
+	for _, in := range complete {
+		if !mk(in).CommandBuffered() {
+			t.Errorf("CommandBuffered(%q) = false, want true", in)
+		}
+	}
+	partial := []string{
+		"",
+		"*3\r\n",
+		"*3\r\n$6\r\nZSC",
+		"*3\r\n$6\r\nZSCORE\r\n$1\r\ns\r\n$1\r\n", // payload bytes missing
+		"PING", // inline without newline
+	}
+	for _, in := range partial {
+		if mk(in).CommandBuffered() {
+			t.Errorf("CommandBuffered(%q) = true, want false", in)
+		}
+	}
+	if NewReader(bytes.NewBufferString("")).CommandBuffered() {
+		t.Error("CommandBuffered on empty reader")
+	}
+}

@@ -1,0 +1,20 @@
+package skiplist
+
+import "repro/internal/index"
+
+// Index v2 batch and cursor operations, satisfied with the shared loop-based
+// fallbacks: this engine's probes are dependent memory accesses, so there is
+// no cross-key MLP to harvest by interleaving them (unlike the Cuckoo Trie).
+
+// MultiGet implements index.Index with one Get per key.
+func (l *List) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	index.FallbackMultiGet(l, keys, vals, found)
+}
+
+// MultiSet implements index.Index with one Set per key.
+func (l *List) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(l, keys, vals, errs)
+}
+
+// NewCursor implements index.Index with a paginated cursor over Scan.
+func (l *List) NewCursor() index.Cursor { return index.NewScanCursor(l) }

@@ -74,8 +74,8 @@ func (l *List) Get(key []byte) (uint64, bool) {
 	return 0, false
 }
 
-// Set inserts or updates key.
-func (l *List) Set(key []byte, value uint64) error {
+// Set inserts or updates key. added reports whether key was newly inserted.
+func (l *List) Set(key []byte, value uint64) (added bool, err error) {
 	var update [maxLevel]*node
 	for i := range update {
 		update[i] = l.head
@@ -83,7 +83,7 @@ func (l *List) Set(key []byte, value uint64) error {
 	n := l.findGE(key, update[:])
 	if n != nil && bytes.Equal(n.key, key) {
 		n.val = value
-		return nil
+		return false, nil
 	}
 	lvl := l.randomLevel()
 	if lvl > l.level {
@@ -95,7 +95,7 @@ func (l *List) Set(key []byte, value uint64) error {
 		update[i].next[i] = nn
 	}
 	l.size++
-	return nil
+	return true, nil
 }
 
 // Delete removes key.

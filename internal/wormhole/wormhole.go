@@ -122,15 +122,15 @@ func (ix *Index) Get(key []byte) (uint64, bool) {
 	return 0, false
 }
 
-// Set inserts or updates key.
-func (ix *Index) Set(key []byte, value uint64) error {
+// Set inserts or updates key. added reports whether key was newly inserted.
+func (ix *Index) Set(key []byte, value uint64) (added bool, err error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	l := ix.findLeaf(key)
 	i := sort.Search(len(l.keys), func(i int) bool { return bytes.Compare(l.keys[i], key) >= 0 })
 	if i < len(l.keys) && bytes.Equal(l.keys[i], key) {
 		l.vals[i] = value
-		return nil
+		return false, nil
 	}
 	l.keys = append(l.keys, nil)
 	copy(l.keys[i+1:], l.keys[i:])
@@ -142,7 +142,7 @@ func (ix *Index) Set(key []byte, value uint64) error {
 	if len(l.keys) > leafCap {
 		ix.split(l)
 	}
-	return nil
+	return true, nil
 }
 
 // split divides leaf l, registering the right half's anchor in the meta-trie.

@@ -19,7 +19,7 @@ func TestAnchorSplits(t *testing.T) {
 	n := 5000
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("shared/prefix/path/%08d", i))
-		if err := ix.Set(k, uint64(i)); err != nil {
+		if _, err := ix.Set(k, uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

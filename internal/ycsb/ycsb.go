@@ -81,6 +81,7 @@ type Generator struct {
 	extra    [][]byte // keys available for workload-phase inserts
 	loaded   int
 	inserted int // number of extra keys consumed
+	newKeys  int // inserts that actually added a key (Set added-flag)
 	maxScan  int
 }
 
@@ -181,14 +182,18 @@ func (g *Generator) Run(ix index.Index, ops int) int {
 		}
 		switch op {
 		case OpInsert:
-			if ix.Set(key, uint64(i)) != nil {
+			added, err := ix.Set(key, uint64(i))
+			if err != nil {
 				return done
+			}
+			if added {
+				g.newKeys++
 			}
 		case OpRead:
 			v, _ := ix.Get(key)
 			sink += v
 		case OpUpdate:
-			if ix.Set(key, uint64(i)) != nil {
+			if _, err := ix.Set(key, uint64(i)); err != nil {
 				return done
 			}
 		case OpScan:
@@ -198,7 +203,7 @@ func (g *Generator) Run(ix index.Index, ops int) int {
 			})
 		case OpRMW:
 			v, _ := ix.Get(key)
-			if ix.Set(key, v+1) != nil {
+			if _, err := ix.Set(key, v+1); err != nil {
 				return done
 			}
 		}
@@ -207,6 +212,82 @@ func (g *Generator) Run(ix index.Index, ops int) int {
 	sinkVar += sink
 	return done
 }
+
+// RunBatched executes ops operations like Run, but drains read operations
+// through MultiGet in batches of up to batch keys — the regime of a server
+// emptying a pipeline of independent requests, where an MLP-aware engine
+// overlaps the batch's DRAM misses (paper §4.4 generalized across keys).
+// Reads accumulate until the batch fills or a mutating/scan operation
+// arrives, which flushes the pending batch first to preserve operation
+// order. Returns the number of operations completed.
+func (g *Generator) RunBatched(ix index.Index, ops, batch int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	var sink uint64
+	done := 0
+	pending := make([][]byte, 0, batch)
+	vals := make([]uint64, batch)
+	found := make([]bool, batch)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		ix.MultiGet(pending, vals, found)
+		for j := range pending {
+			sink += vals[j]
+		}
+		done += len(pending)
+		pending = pending[:0]
+	}
+	for i := 0; i < ops; i++ {
+		op, key, scanLen := g.Next()
+		if key == nil {
+			continue
+		}
+		if op == OpRead {
+			pending = append(pending, key)
+			if len(pending) == batch {
+				flush()
+			}
+			continue
+		}
+		flush()
+		switch op {
+		case OpInsert:
+			added, err := ix.Set(key, uint64(i))
+			if err != nil {
+				return done
+			}
+			if added {
+				g.newKeys++
+			}
+		case OpUpdate:
+			if _, err := ix.Set(key, uint64(i)); err != nil {
+				return done
+			}
+		case OpScan:
+			ix.Scan(key, scanLen, func(k []byte, v uint64) bool {
+				sink += v + uint64(len(k))
+				return true
+			})
+		case OpRMW:
+			v, _ := ix.Get(key)
+			if _, err := ix.Set(key, v+1); err != nil {
+				return done
+			}
+		}
+		done++
+	}
+	flush()
+	sinkVar += sink
+	return done
+}
+
+// NewKeys reports how many workload-phase inserts actually added a key (as
+// opposed to colliding with an existing one), per the Set added-flag — the
+// accounting YCSB needs to validate insert mixes.
+func (g *Generator) NewKeys() int { return g.newKeys }
 
 // sinkVar defeats dead-code elimination of benchmark reads.
 var sinkVar uint64

@@ -45,6 +45,41 @@ func TestRunAgainstIndex(t *testing.T) {
 	}
 }
 
+func TestRunBatched(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 3000, 2)
+	for _, w := range []Workload{A, B, C, D} {
+		for _, batch := range []int{1, 8, 64} {
+			ix := skiplist.New(1)
+			loaded := 2500
+			for i := 0; i < loaded; i++ {
+				ix.Set(keys[i], uint64(i))
+			}
+			g := NewGenerator(w, Uniform, keys, loaded, 3)
+			if done := g.RunBatched(ix, 5000, batch); done != 5000 {
+				t.Fatalf("workload %s batch %d completed %d/5000 ops", w, batch, done)
+			}
+		}
+	}
+}
+
+func TestInsertAccounting(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 2000, 5)
+	ix := skiplist.New(1)
+	loaded := 1000
+	for i := 0; i < loaded; i++ {
+		ix.Set(keys[i], uint64(i))
+	}
+	g := NewGenerator(D, Uniform, keys, loaded, 6)
+	g.Run(ix, 4000)
+	// Workload D is 5% inserts of fresh keys: every insert must have added.
+	if g.NewKeys() == 0 {
+		t.Fatal("no inserts recorded for workload D")
+	}
+	if want := ix.Len() - loaded; g.NewKeys() != want {
+		t.Fatalf("NewKeys = %d, index grew by %d", g.NewKeys(), want)
+	}
+}
+
 func TestZipfianSkew(t *testing.T) {
 	keys := dataset.Generate(dataset.Rand8, 1000, 3)
 	g := NewGenerator(C, Zipfian, keys, 1000, 4)
