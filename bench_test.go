@@ -89,6 +89,12 @@ func BenchmarkMultiGetFigure(b *testing.B) {
 	runFigure(b, func(o bench.Options) { bench.MultiGetBench(os.Stdout, o) })
 }
 
+func BenchmarkShardedFigure(b *testing.B) {
+	o := benchOpts()
+	o.Shards = 4
+	runFigure(b, func(bench.Options) { bench.FigSharded(os.Stdout, o) })
+}
+
 // --- micro-benchmarks on the Cuckoo Trie hot paths ---
 
 func newLoadedTrie(n int) (*cuckootrie.Trie, [][]byte) {

@@ -18,10 +18,11 @@ func main() {
 	keys := flag.Int("keys", 200_000, "dataset size (paper: 71M-200M)")
 	ops := flag.Int("ops", 0, "operations per measurement (default: = keys)")
 	threads := flag.Int("threads", 0, "threads for multithreaded figures (default: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "max shard count for the sharded figure (default: GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "dataset/workload seed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ctbench [flags] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget sharded all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -29,7 +30,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	o := bench.Options{Keys: *keys, Ops: *ops, Threads: *threads, Seed: *seed}
+	o := bench.Options{Keys: *keys, Ops: *ops, Threads: *threads, Shards: *shards, Seed: *seed}
 	runners := map[string]func(){
 		"table1":   func() { bench.Table1(os.Stdout, o) },
 		"fig2":     func() { bench.Fig2(os.Stdout, o) },
@@ -44,11 +45,12 @@ func main() {
 		"table3":   func() { bench.Table3(os.Stdout, o) },
 		"ablation": func() { bench.Ablation(os.Stdout, o) },
 		"multiget": func() { bench.MultiGetBench(os.Stdout, o) },
+		"sharded":  func() { bench.FigSharded(os.Stdout, o) },
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, k := range []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget"} {
+			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget", "sharded"} {
 			runners[k]()
 		}
 		return

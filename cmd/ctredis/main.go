@@ -18,6 +18,7 @@ import (
 	"repro/internal/hot"
 	"repro/internal/index"
 	"repro/internal/miniredis"
+	"repro/internal/sharded"
 	"repro/internal/skiplist"
 	"repro/internal/wormhole"
 )
@@ -26,6 +27,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
 	engine := flag.String("engine", "CuckooTrie", "sorted-set engine: CuckooTrie|ARTOLC|HOT|Wormhole|STX|SkipList")
 	capacity := flag.Int("capacity", 1<<20, "expected keys per sorted set")
+	shards := flag.Int("shards", 1, "shards per sorted set (>1 enables scatter-gather across cores)")
 	flag.Parse()
 
 	factories := map[string]miniredis.EngineFactory{
@@ -42,12 +44,17 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown engine %q", *engine)
 	}
+	name := *engine
+	if *shards > 1 {
+		f = miniredis.ShardedFactory(f, *shards)
+		name = fmt.Sprintf("%s x%d shards", name, sharded.RoundShards(*shards))
+	}
 	srv := miniredis.NewServer(f, *capacity, true)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ctredis listening on %s (engine: %s)\n", bound, *engine)
+	fmt.Printf("ctredis listening on %s (engine: %s)\n", bound, name)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/hot"
 	"repro/internal/index"
 	"repro/internal/mlpindex"
+	"repro/internal/sharded"
 	"repro/internal/skiplist"
 	"repro/internal/wormhole"
 	"repro/internal/ycsb"
@@ -33,6 +36,7 @@ type Options struct {
 	Keys    int // dataset size (the paper uses 71M–200M; default 200k)
 	Ops     int // operations per workload measurement
 	Threads int // "all cores" thread count for the multithreaded figures
+	Shards  int // max shard count for the sharded scatter-gather figure
 	Seed    int64
 }
 
@@ -46,6 +50,9 @@ func (o *Options) Fill() {
 	}
 	if o.Threads <= 0 {
 		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -79,8 +86,45 @@ func Engines() []Engine {
 	}
 }
 
-// engineByName finds an engine.
+// ShardedEngine wraps e's factory in an N-shard scatter-gather engine (see
+// internal/sharded): point ops route by key hash, batches fan out across
+// shards on a worker pool, ordered ops merge the per-shard cursors. The
+// name reflects the shard count actually built (power-of-two rounded), so
+// figure rows are never attributed to a count that was not measured.
+func ShardedEngine(e Engine, shards int) Engine {
+	inner := e.New
+	shards = sharded.RoundShards(shards)
+	return Engine{
+		Name:       fmt.Sprintf("%s-x%d", e.Name, shards),
+		Concurrent: e.Concurrent,
+		Fixed8:     e.Fixed8,
+		Scans:      e.Scans,
+		New:        func(c int) index.Index { return sharded.New(shards, c, inner) },
+	}
+}
+
+// ShardedEngines returns N-shard variants of the concurrent engines — the
+// lineup of the sharded scatter-gather figure.
+func ShardedEngines(shards int) []Engine {
+	var out []Engine
+	for _, e := range Engines() {
+		if e.Concurrent {
+			out = append(out, ShardedEngine(e, shards))
+		}
+	}
+	return out
+}
+
+// engineByName finds an engine. A "-xN" suffix (e.g. "CuckooTrie-x4")
+// resolves the base engine and wraps it in an N-shard variant.
 func engineByName(name string) (Engine, bool) {
+	if i := strings.LastIndex(name, "-x"); i > 0 {
+		if shards, err := strconv.Atoi(name[i+2:]); err == nil && shards > 0 {
+			if base, ok := engineByName(name[:i]); ok {
+				return ShardedEngine(base, shards), true
+			}
+		}
+	}
 	for _, e := range Engines() {
 		if e.Name == name {
 			return e, true

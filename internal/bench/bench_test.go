@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -26,6 +27,7 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 		{"fig12", func(o Options, b *bytes.Buffer) { Fig12(b, o) }, []string{"MlpIndex", "bytes/key"}},
 		{"table3", func(o Options, b *bytes.Buffer) { Table3(b, o) }, []string{"DRAM", "UPI"}},
 		{"ablation", func(o Options, b *bytes.Buffer) { Ablation(b, o) }, []string{"nodes/key", "D=5"}},
+		{"sharded", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigSharded(b, o) }, []string{"CuckooTrie", "x2", "x4", "shard count"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -65,6 +67,97 @@ func TestFig2Shape(t *testing.T) {
 	}
 	if ctEff*1.5 > artEff {
 		t.Fatalf("effective latency gap too small: CT %.1f vs ART %.1f", ctEff, artEff)
+	}
+}
+
+// TestThreadLadder: the Fig6 ladder must measure at the actual core count
+// even when it is not a power of two (the old ladder skipped 6/12/20-core
+// machines entirely), without duplicates and in ascending order.
+func TestThreadLadder(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1, 2, 4}},
+		{2, []int{1, 2, 4}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+		{12, []int{1, 2, 4, 8, 12}},
+		{16, []int{1, 2, 4, 8, 16}},
+		{20, []int{1, 2, 4, 8, 16, 20}},
+	}
+	for _, c := range cases {
+		got := threadLadder(c.max)
+		if len(got) != len(c.want) {
+			t.Fatalf("threadLadder(%d) = %v, want %v", c.max, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("threadLadder(%d) = %v, want %v", c.max, got, c.want)
+			}
+		}
+	}
+}
+
+// TestShardLadder: the sharded figure's columns are powers of two, respect
+// the user's cap (modulo the power-of-two rounding sharded.New itself
+// applies), and always label the count actually measured.
+func TestShardLadder(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 8}}, // 6 rounds to 8 shards; label what is built
+		{8, []int{1, 2, 4, 8}},
+	}
+	for _, c := range cases {
+		got := shardLadder(c.max)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("shardLadder(%d) = %v, want %v", c.max, got, c.want)
+		}
+	}
+}
+
+// TestShardedEngineRegistry: "-xN" names resolve to sharded variants whose
+// batch results match the unsharded engine.
+func TestShardedEngineRegistry(t *testing.T) {
+	e, ok := engineByName("CuckooTrie-x4")
+	if !ok {
+		t.Fatal("CuckooTrie-x4 not resolved")
+	}
+	if e.Name != "CuckooTrie-x4" || !e.Concurrent {
+		t.Fatalf("resolved engine = %+v", e)
+	}
+	if _, ok := engineByName("Nope-x4"); ok {
+		t.Fatal("Nope-x4 resolved")
+	}
+	if _, ok := engineByName("CuckooTrie-xz"); ok {
+		t.Fatal("CuckooTrie-xz resolved")
+	}
+	// Non-power-of-two requests are named for the shard count actually built.
+	if e3, ok := engineByName("CuckooTrie-x3"); !ok || e3.Name != "CuckooTrie-x4" {
+		t.Fatalf("CuckooTrie-x3 resolved to %q, want CuckooTrie-x4", e3.Name)
+	}
+	if got := len(ShardedEngines(2)); got != 4 {
+		t.Fatalf("ShardedEngines(2) has %d engines, want the 4 concurrent ones", got)
+	}
+	ix := e.New(1 << 10)
+	keys := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	vals := []uint64{1, 2, 3}
+	if added := ix.MultiSet(keys, vals, nil); added != 3 {
+		t.Fatalf("sharded MultiSet added %d", added)
+	}
+	got := make([]uint64, 3)
+	found := make([]bool, 3)
+	ix.MultiGet(keys, got, found)
+	for i := range keys {
+		if !found[i] || got[i] != vals[i] {
+			t.Fatalf("sharded MultiGet[%d] = %d,%v", i, got[i], found[i])
+		}
 	}
 }
 

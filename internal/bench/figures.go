@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	cuckootrie "repro"
 	"repro/internal/art"
@@ -128,10 +129,7 @@ func Fig6(w io.Writer, o Options) {
 	header(w, "Figure 6: insert & lookup scalability (rand-8)",
 		"speedup vs single thread; ARTOLC/CuckooTrie near-linear, Wormhole inserts saturate")
 	keys := datasetKeys(dataset.Rand8, o.Keys, o.Seed)
-	threadCounts := []int{1, 2, 4}
-	for t := 8; t <= o.Threads; t *= 2 {
-		threadCounts = append(threadCounts, t)
-	}
+	threadCounts := threadLadder(o.Threads)
 	for _, mode := range []ycsb.Workload{ycsb.C, ycsb.Load} {
 		label := "Lookup"
 		if mode == ycsb.Load {
@@ -158,6 +156,28 @@ func Fig6(w io.Writer, o Options) {
 			fmt.Fprintln(w)
 		}
 	}
+}
+
+// threadLadder builds Fig6's thread counts: 1, 2, 4 then doubling, PLUS max
+// itself when the doubling misses it — on machines whose core count is not
+// a power of two (6, 12, 20), the figure must still measure at the actual
+// core count. The result is dedup-sorted.
+func threadLadder(max int) []int {
+	counts := []int{1, 2, 4}
+	for t := 8; t <= max; t *= 2 {
+		counts = append(counts, t)
+	}
+	if max > 0 {
+		counts = append(counts, max)
+	}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, t := range counts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // Fig7 regenerates single-threaded YCSB point-operation throughput.

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/sharded"
+)
+
+// shardLadder builds the figure's shard counts: powers of two from 1 up to
+// the requested maximum, rounded to what sharded.New actually builds so
+// every column label matches the measured configuration, and never
+// exceeding the user's cap by more than that rounding.
+func shardLadder(max int) []int {
+	rounded := sharded.RoundShards(max)
+	var out []int
+	for s := 1; s <= rounded; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// shardedBatchSize is the batch the sharded figure drains per MultiGet: big
+// enough that every shard's sub-batch still amortizes the scatter, the
+// regime of a server emptying a deep pipeline.
+const shardedBatchSize = 512
+
+// FigSharded compares sharded vs. unsharded batched-lookup throughput
+// across shard counts: the cross-core axis of the paper's MLP argument.
+// Column x1 is the unsharded engine (no wrapper at all); columns x2..xN
+// scatter each 512-key MultiGet into per-shard sub-batches that run
+// concurrently on a worker pool, so each core overlaps its own sub-batch's
+// DRAM misses while the shards overlap each other. Scaling tracks the
+// machine's core count — on a single-core box the sharded columns only
+// measure the scatter overhead.
+func FigSharded(w io.Writer, o Options) {
+	o.Fill()
+	header(w, fmt.Sprintf("Sharded scatter-gather: MultiGet throughput by shard count (Mops/s, batch=%d)", shardedBatchSize),
+		"cross-core MLP; sharded engines scale with shard count up to the core count")
+	shardCounts := shardLadder(o.Shards)
+	ks := datasetKeys(dataset.Rand8, o.Keys, o.Seed)
+	fmt.Fprintf(w, "\n%-14s", "")
+	for _, s := range shardCounts {
+		fmt.Fprintf(w, "%10s", fmt.Sprintf("x%d", s))
+	}
+	fmt.Fprintln(w)
+	for _, e := range Engines() {
+		if !e.Concurrent {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s", e.Name)
+		for _, s := range shardCounts {
+			eng := e
+			if s > 1 {
+				eng = ShardedEngine(e, s)
+			}
+			ix := load(eng, ks, len(ks))
+			fmt.Fprintf(w, "%10.3f", runMultiGet(ix, ks, o.Ops, shardedBatchSize, o.Seed))
+		}
+		fmt.Fprintln(w)
+	}
+}

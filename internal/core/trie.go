@@ -47,8 +47,9 @@ func (c *Config) fill() {
 
 // bucketsFor returns the power-of-two bucket count for an expected key count.
 func bucketsFor(keys int, loadFactor float64) uint64 {
-	// ~1.25 nodes/key on random data (§4.6); pathological datasets need more,
-	// AutoResize covers them.
+	// Random data costs ~1.25 nodes/key (§4.6); we size for 1.30 — ~4%
+	// headroom — so mildly prefix-heavy datasets don't immediately trip a
+	// resize. Pathological datasets still need more; AutoResize covers them.
 	nodes := float64(keys) * 1.30
 	want := nodes / (entriesPerBucket * loadFactor)
 	b := uint64(hashR)

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/resp"
+	"repro/internal/sharded"
 )
 
 // Engine names a sorted-set index implementation.
@@ -31,6 +32,16 @@ type Engine string
 
 // EngineFactory creates an index for a sorted set.
 type EngineFactory func(capacityHint int) index.Index
+
+// ShardedFactory wraps an engine factory so every sorted set is an N-shard
+// scatter-gather index (see internal/sharded): pipelined ZSCORE runs that
+// collapse into one MultiGet then fan out across cores, one sub-batch per
+// shard, composing cross-core parallelism with each shard's batch path.
+func ShardedFactory(inner EngineFactory, shards int) EngineFactory {
+	return func(capacityHint int) index.Index {
+		return sharded.New(shards, capacityHint, inner)
+	}
+}
 
 // Server is the mini-Redis server.
 type Server struct {
@@ -305,6 +316,7 @@ type Client struct {
 	conn net.Conn
 	r    *resp.Reader
 	w    *resp.Writer
+	err  error // sticky: set once the connection state is unknown
 }
 
 // Dial connects to a mini-Redis server.
@@ -321,32 +333,74 @@ func (c *Client) Close() { c.conn.Close() }
 
 // Do sends one command and reads its reply.
 func (c *Client) Do(args ...[]byte) (interface{}, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	if err := c.w.WriteCommand(args...); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
-	return c.r.ReadReply()
+	v, err := c.r.ReadReply()
+	if err != nil {
+		if resp.FrameSafe(err) {
+			return nil, err // bad value, but the stream is still in sync
+		}
+		return nil, c.poison(err)
+	}
+	return v, nil
 }
 
-// Pipeline sends a batch of commands and reads all replies.
+// Pipeline sends a batch of commands and reads all replies. If one reply
+// carries a malformed value but its frame was fully consumed
+// (resp.FrameSafe), the remaining replies are still drained so the
+// connection stays in sync for subsequent calls; if the transport or the
+// reply framing itself fails mid-pipeline, the client is poisoned — every
+// later call fails fast instead of reading a reply that belongs to an
+// earlier command.
 func (c *Client) Pipeline(cmds [][][]byte) ([]interface{}, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	for _, cmd := range cmds {
 		if err := c.w.WriteCommand(cmd...); err != nil {
-			return nil, err
+			return nil, c.poison(err)
 		}
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 	out := make([]interface{}, 0, len(cmds))
+	var firstErr error
 	for range cmds {
 		v, err := c.r.ReadReply()
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			if resp.FrameSafe(err) {
+				continue // drain the replies still owed to this pipeline
+			}
+			// The reply framing is gone, not just one value: the stream
+			// position is unknown, so draining would misread replies.
+			c.poison(err)
+			break
 		}
-		out = append(out, v)
+		if firstErr == nil {
+			out = append(out, v)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
+}
+
+// poison records the first connection-desynchronizing error and returns it.
+func (c *Client) poison(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("miniredis: connection desynchronized: %w", err)
+	}
+	return c.err
 }

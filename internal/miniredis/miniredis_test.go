@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/resp"
 	"repro/internal/skiplist"
 )
 
@@ -218,6 +219,187 @@ func TestPartialPipelineDoesNotStall(t *testing.T) {
 	n, err = conn.Read(buf)
 	if err != nil || string(buf[:n]) != "+PONG\r\n" {
 		t.Fatalf("completed second command reply = %q, %v", buf[:n], err)
+	}
+}
+
+// rawServer speaks raw RESP so tests can script malformed replies: it reads
+// commands and answers the i-th command with replies[i] (cycling the last
+// entry), closing when told to.
+func rawServer(t *testing.T, replies []string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := resp.NewReader(conn)
+		for i := 0; ; i++ {
+			if _, err := r.ReadCommand(); err != nil {
+				return
+			}
+			rep := replies[len(replies)-1]
+			if i < len(replies) {
+				rep = replies[i]
+			}
+			if rep == "" { // scripted mid-pipeline hangup
+				return
+			}
+			if _, err := conn.Write([]byte(rep)); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestPipelineErrorDoesNotDesync is the regression test for the pipeline
+// desync bug: when one reply in a pipeline is malformed, the old client
+// returned immediately, leaving the rest of the pipeline's replies buffered
+// — so the NEXT Do read a stale reply belonging to the failed pipeline.
+// The fixed client drains the remaining replies before returning the error.
+func TestPipelineErrorDoesNotDesync(t *testing.T) {
+	addr := rawServer(t, []string{":0\r\n", ":not-an-int\r\n", ":2\r\n", ":3\r\n"})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ping := [][]byte{[]byte("PING")}
+	if _, err := cl.Pipeline([][][]byte{ping, ping, ping}); err == nil {
+		t.Fatal("pipeline with a malformed reply reported no error")
+	}
+	// The connection must be re-synchronized: the follow-up command gets ITS
+	// OWN reply (:3), not the failed pipeline's leftover (:2).
+	r, err := cl.Do([]byte("PING"))
+	if err != nil {
+		t.Fatalf("Do after drained pipeline error: %v", err)
+	}
+	if r != int64(3) {
+		t.Fatalf("Do read %v — a stale reply from the failed pipeline, want 3", r)
+	}
+}
+
+// TestPipelineDrainSurvivesAggregateParseError: a malformed value INSIDE an
+// array reply must not desynchronize the drain — the reader consumes the
+// whole aggregate frame before surfacing the error, so the remaining
+// top-level replies are drained correctly and the next Do still gets its
+// own reply (not a leftover array element).
+func TestPipelineDrainSurvivesAggregateParseError(t *testing.T) {
+	addr := rawServer(t, []string{":1\r\n", "*3\r\n:1\r\n:bad\r\n:2\r\n", ":3\r\n", ":4\r\n"})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ping := [][]byte{[]byte("PING")}
+	if _, err := cl.Pipeline([][][]byte{ping, ping, ping}); err == nil {
+		t.Fatal("pipeline with a malformed array element reported no error")
+	}
+	r, err := cl.Do([]byte("PING"))
+	if err != nil {
+		t.Fatalf("Do after aggregate parse error: %v", err)
+	}
+	if r != int64(4) {
+		t.Fatalf("Do read %v — a stale reply from inside the failed pipeline, want 4", r)
+	}
+}
+
+// TestPipelinePoisonOnFramingError: when a reply's framing (not just its
+// value) is malformed, the stream position is unknown — the client must
+// poison immediately instead of draining replies it would misread.
+func TestPipelinePoisonOnFramingError(t *testing.T) {
+	addr := rawServer(t, []string{":1\r\n", "?junk\r\n", ":2\r\n"})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ping := [][]byte{[]byte("PING")}
+	if _, err := cl.Pipeline([][][]byte{ping, ping, ping}); err == nil {
+		t.Fatal("pipeline with a framing error reported no error")
+	}
+	if _, err := cl.Do([]byte("PING")); err == nil {
+		t.Fatal("Do on a framing-poisoned client reported no error")
+	}
+}
+
+// TestPipelinePoisonOnTransportFailure: when the server hangs up
+// mid-pipeline, draining is impossible; the client must fail fast on every
+// subsequent call instead of blocking or reading garbage.
+func TestPipelinePoisonOnTransportFailure(t *testing.T) {
+	addr := rawServer(t, []string{":0\r\n", ""})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ping := [][]byte{[]byte("PING")}
+	if _, err := cl.Pipeline([][][]byte{ping, ping, ping}); err == nil {
+		t.Fatal("pipeline against a hung-up server reported no error")
+	}
+	if _, err := cl.Do([]byte("PING")); err == nil {
+		t.Fatal("Do on a poisoned client reported no error")
+	}
+}
+
+// TestShardedFactory runs the server over a sharded engine: batched
+// pipeline dispatch lands on the scatter-gather MultiGet path, and ordered
+// ZRANGEBYLEX crosses shard boundaries via the merge cursor.
+func TestShardedFactory(t *testing.T) {
+	factory := ShardedFactory(func(c int) index.Index { return skiplist.New(1) }, 4)
+	srv := NewServer(factory, 64, true)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var load [][][]byte
+	for i := 0; i < 200; i++ {
+		load = append(load, [][]byte{
+			[]byte("ZADD"), []byte("s"), []byte(fmt.Sprintf("m%03d", i)), []byte(fmt.Sprint(i)),
+		})
+	}
+	if _, err := cl.Pipeline(load); err != nil {
+		t.Fatal(err)
+	}
+	var pipe [][][]byte
+	for i := 0; i < 100; i++ {
+		pipe = append(pipe, [][]byte{[]byte("ZSCORE"), []byte("s"), []byte(fmt.Sprintf("m%03d", i*2))})
+	}
+	replies, err := cl.Pipeline(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range replies {
+		if string(r.([]byte)) != fmt.Sprint(i*2) {
+			t.Fatalf("sharded ZSCORE[%d] = %v, want %d", i, r, i*2)
+		}
+	}
+	// Ordered scan across shard boundaries.
+	r, err := cl.Do([]byte("ZRANGEBYLEX"), []byte("s"), []byte("m050"), []byte("10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := r.([]interface{})
+	if len(arr) != 10 {
+		t.Fatalf("sharded range returned %d members", len(arr))
+	}
+	for i, m := range arr {
+		want := fmt.Sprintf("m%03d", 50+i)
+		if string(m.([]byte)) != want {
+			t.Fatalf("sharded range[%d] = %s, want %s", i, m, want)
+		}
 	}
 }
 

@@ -215,16 +215,43 @@ func (r *Reader) ReadReply() (interface{}, error) {
 			return []interface{}(nil), nil
 		}
 		out := make([]interface{}, 0, n)
+		var firstErr error
 		for i := 0; i < n; i++ {
 			v, err := r.ReadReply()
 			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				if FrameSafe(err) {
+					// The malformed element's bytes were consumed: keep
+					// reading the remaining elements so the whole aggregate
+					// frame is consumed and the stream stays in sync.
+					continue
+				}
+				// A framing/transport error aborts mid-frame; it must win
+				// over an earlier frame-safe element error or callers would
+				// wrongly treat the stream as still in sync.
 				return nil, err
 			}
 			out = append(out, v)
 		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
 		return out, nil
 	}
 	return nil, ErrProtocol
+}
+
+// FrameSafe reports whether a ReadReply error left the stream at a reply
+// frame boundary — the malformed value's bytes were fully consumed, so the
+// next read starts at the next reply and pipelining clients can safely
+// drain past the error. Value-parse errors (an unparsable integer in a
+// fully-read line) are frame-safe; ErrProtocol and transport errors are
+// not: after them the reader's position within the stream is unknown.
+func FrameSafe(err error) bool {
+	var ne *strconv.NumError
+	return errors.As(err, &ne)
 }
 
 // Writer encodes RESP values with buffering; call Flush after a pipeline.

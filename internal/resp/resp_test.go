@@ -2,6 +2,7 @@ package resp
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -85,10 +86,10 @@ func TestCommandBuffered(t *testing.T) {
 	complete := []string{
 		"*1\r\n$4\r\nPING\r\n",
 		"*3\r\n$6\r\nZSCORE\r\n$1\r\ns\r\n$1\r\nm\r\n",
-		"PING\r\n",                  // inline
-		"*x\r\n",                    // malformed: errors without blocking
-		"*2\r\nnope\r\n",            // malformed bulk header
-		"*1\r\n$4\r\nPING\r\nrest",  // complete + trailing partial
+		"PING\r\n",                 // inline
+		"*x\r\n",                   // malformed: errors without blocking
+		"*2\r\nnope\r\n",           // malformed bulk header
+		"*1\r\n$4\r\nPING\r\nrest", // complete + trailing partial
 	}
 	for _, in := range complete {
 		if !mk(in).CommandBuffered() {
@@ -109,5 +110,41 @@ func TestCommandBuffered(t *testing.T) {
 	}
 	if NewReader(bytes.NewBufferString("")).CommandBuffered() {
 		t.Error("CommandBuffered on empty reader")
+	}
+}
+
+// TestAggregateParseErrorConsumesFrame: a malformed value inside an array
+// reply must surface an error only after the whole aggregate frame is
+// consumed, so the next ReadReply returns the NEXT top-level reply — the
+// invariant pipelining clients rely on to drain past bad replies. A broken
+// frame (unknown type byte) must instead report a non-frame-safe error.
+func TestAggregateParseErrorConsumesFrame(t *testing.T) {
+	r := NewReader(strings.NewReader("*3\r\n:1\r\n:bad\r\n:2\r\n:7\r\n"))
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("array with malformed element reported no error")
+	} else if !FrameSafe(err) {
+		t.Fatalf("value-parse error %v not frame-safe", err)
+	}
+	v, err := r.ReadReply()
+	if err != nil || v != int64(7) {
+		t.Fatalf("reply after consumed aggregate = %v, %v; want 7", v, err)
+	}
+	// Framing errors are not frame-safe.
+	r = NewReader(strings.NewReader("?junk\r\n"))
+	if _, err := r.ReadReply(); err == nil || FrameSafe(err) {
+		t.Fatalf("framing error = %v; want non-frame-safe error", err)
+	}
+}
+
+// TestAggregateFramingErrorWins: when an aggregate holds BOTH a frame-safe
+// element error and a later framing error, the framing error must be
+// reported — the frame was not fully consumed, and labeling it frame-safe
+// would let pipelining clients drain a desynchronized stream.
+func TestAggregateFramingErrorWins(t *testing.T) {
+	r := NewReader(strings.NewReader("*3\r\n:bad\r\n?junk\r\n:7\r\n"))
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("array with framing error reported no error")
+	} else if FrameSafe(err) {
+		t.Fatalf("mid-frame abort %v reported as frame-safe", err)
 	}
 }

@@ -1,0 +1,98 @@
+package sharded
+
+import (
+	"bytes"
+
+	"repro/internal/index"
+)
+
+// mergeCursor merges the ascending streams of the per-shard cursors into
+// one globally ordered stream with a binary min-heap of shard ids keyed by
+// each shard cursor's current key. Hash partitioning stores a key in
+// exactly one shard, but ties are still broken by shard id so iteration is
+// deterministic for any inner engine.
+type mergeCursor struct {
+	cursors []index.Cursor
+	heap    []int // shard ids of valid cursors, min-heap on current key
+}
+
+// Seek positions every shard cursor at its smallest key ≥ start and
+// rebuilds the heap; the heap top is then the global successor of start.
+func (c *mergeCursor) Seek(start []byte) bool {
+	c.heap = c.heap[:0]
+	for i, cur := range c.cursors {
+		if cur.Seek(start) {
+			c.heap = append(c.heap, i)
+		}
+	}
+	for i := len(c.heap)/2 - 1; i >= 0; i-- {
+		c.siftDown(i)
+	}
+	return len(c.heap) > 0
+}
+
+func (c *mergeCursor) Valid() bool { return len(c.heap) > 0 }
+
+func (c *mergeCursor) Key() []byte {
+	if len(c.heap) == 0 {
+		return nil
+	}
+	return c.cursors[c.heap[0]].Key()
+}
+
+func (c *mergeCursor) Value() uint64 {
+	if len(c.heap) == 0 {
+		return 0
+	}
+	return c.cursors[c.heap[0]].Value()
+}
+
+// Next advances the shard cursor at the heap top; if it runs dry the shard
+// leaves the heap, otherwise it is sifted to its new rank.
+func (c *mergeCursor) Next() bool {
+	if len(c.heap) == 0 {
+		return false
+	}
+	if !c.cursors[c.heap[0]].Next() {
+		last := len(c.heap) - 1
+		c.heap[0] = c.heap[last]
+		c.heap = c.heap[:last]
+	}
+	if len(c.heap) > 0 {
+		c.siftDown(0)
+	}
+	return len(c.heap) > 0
+}
+
+func (c *mergeCursor) Close() {
+	for _, cur := range c.cursors {
+		cur.Close()
+	}
+	c.heap = nil
+}
+
+// less orders heap entries by current key, then shard id.
+func (c *mergeCursor) less(a, b int) bool {
+	if cmp := bytes.Compare(c.cursors[a].Key(), c.cursors[b].Key()); cmp != 0 {
+		return cmp < 0
+	}
+	return a < b
+}
+
+func (c *mergeCursor) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(c.heap) && c.less(c.heap[l], c.heap[min]) {
+			min = l
+		}
+		if r < len(c.heap) && c.less(c.heap[r], c.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		i = min
+	}
+}

@@ -1,0 +1,313 @@
+// Package sharded turns any index.Index factory into an N-shard
+// hash-partitioned engine, adding the cross-core axis to the paper's MLP
+// thesis: if the probes of every key in a batch are independent DRAM
+// accesses, they are also independent across cores, so a batch can be
+// scattered into per-shard sub-batches that execute concurrently and
+// compose with each shard's own interleaved probe path (§4.4 generalized
+// across keys, then across cores).
+//
+// Point operations route by key hash to a single shard. MultiGet/MultiSet
+// scatter the batch into per-shard sub-batches run on a bounded worker
+// pool, with scratch buffers pooled and results written back into the
+// caller's slices in caller order. Ordered operations (Scan, Cursor) are
+// recovered with a k-way merge cursor over the per-shard cursors: the heap
+// top always tracks the global minimum remaining key, so iteration is
+// globally sorted even though each shard holds an arbitrary hash slice of
+// the keyspace.
+package sharded
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// Index is a hash-partitioned wrapper over N inner indexes.
+type Index struct {
+	shards  []index.Index
+	mask    uint64
+	seed    maphash.Seed
+	workers int
+	scratch sync.Pool
+}
+
+// RoundShards returns the shard count New actually builds for a request:
+// rounded up to a power of two, minimum 1. Callers that label output by
+// shard count should label with this, not the raw request.
+func RoundShards(shards int) int {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return n
+}
+
+// New builds an engine with the given shard count (rounded up to a power of
+// two, minimum 1 — see RoundShards) whose shards come from factory;
+// capacity is the expected total key count, divided evenly across shards
+// for the per-shard hint.
+func New(shards, capacity int, factory func(capacity int) index.Index) *Index {
+	n := RoundShards(shards)
+	x := &Index{
+		shards: make([]index.Index, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	per := (capacity + n - 1) / n
+	for i := range x.shards {
+		x.shards[i] = factory(per)
+	}
+	x.workers = runtime.GOMAXPROCS(0)
+	if x.workers > n {
+		x.workers = n
+	}
+	x.scratch.New = func() interface{} { return newScratch(n) }
+	return x
+}
+
+// Shards reports the (power-of-two) shard count.
+func (x *Index) Shards() int { return len(x.shards) }
+
+func (x *Index) shardFor(key []byte) index.Index {
+	return x.shards[maphash.Bytes(x.seed, key)&x.mask]
+}
+
+// Set routes to the owning shard.
+func (x *Index) Set(key []byte, value uint64) (bool, error) {
+	return x.shardFor(key).Set(key, value)
+}
+
+// Get routes to the owning shard.
+func (x *Index) Get(key []byte) (uint64, bool) {
+	return x.shardFor(key).Get(key)
+}
+
+// Delete routes to the owning shard.
+func (x *Index) Delete(key []byte) bool {
+	return x.shardFor(key).Delete(key)
+}
+
+// Len sums the shard counts.
+func (x *Index) Len() int {
+	total := 0
+	for _, s := range x.shards {
+		total += s.Len()
+	}
+	return total
+}
+
+// MemoryOverheadBytes sums the shard overheads.
+func (x *Index) MemoryOverheadBytes() int64 {
+	var total int64
+	for _, s := range x.shards {
+		total += s.MemoryOverheadBytes()
+	}
+	return total
+}
+
+// Name identifies the engine as an N-shard wrap of its inner engine.
+func (x *Index) Name() string {
+	return fmt.Sprintf("Sharded%d(%s)", len(x.shards), x.shards[0].Name())
+}
+
+// ConcurrentSafe reports whether every shard is concurrent-safe: routing
+// alone does not serialize two callers that hash to the same shard.
+func (x *Index) ConcurrentSafe() bool {
+	for _, s := range x.shards {
+		if !index.IsConcurrent(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// minParallelBatch is the batch size below which scatter-gather runs the
+// sub-batches inline: spawning workers costs more than it overlaps.
+const minParallelBatch = 32
+
+// scratch holds one call's per-shard sub-batches, pooled across calls.
+type scratch struct {
+	keys   [][][]byte
+	pos    [][]int
+	vals   [][]uint64
+	found  [][]bool
+	errs   [][]error
+	added  []int
+	active []int // shard ids with at least one key this call
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		keys:   make([][][]byte, n),
+		pos:    make([][]int, n),
+		vals:   make([][]uint64, n),
+		found:  make([][]bool, n),
+		errs:   make([][]error, n),
+		added:  make([]int, n),
+		active: make([]int, 0, n),
+	}
+}
+
+// split routes keys into per-shard sub-batches, recording each key's caller
+// position, and returns the scratch holding them.
+func (x *Index) split(keys [][]byte) *scratch {
+	sc := x.scratch.Get().(*scratch)
+	sc.active = sc.active[:0]
+	for i, k := range keys {
+		s := int(maphash.Bytes(x.seed, k) & x.mask)
+		if len(sc.keys[s]) == 0 {
+			sc.keys[s] = sc.keys[s][:0]
+			sc.pos[s] = sc.pos[s][:0]
+			sc.active = append(sc.active, s)
+		}
+		sc.keys[s] = append(sc.keys[s], k)
+		sc.pos[s] = append(sc.pos[s], i)
+	}
+	return sc
+}
+
+// release drops the sub-batch key references and returns sc to the pool.
+func (sc *scratch) release(x *Index) {
+	for _, s := range sc.active {
+		ks := sc.keys[s]
+		for i := range ks {
+			ks[i] = nil
+		}
+		sc.keys[s] = ks[:0]
+		sc.pos[s] = sc.pos[s][:0]
+	}
+	x.scratch.Put(sc)
+}
+
+// forEachActive runs fn(shard) for every active shard, on the calling
+// goroutine for small batches or a single active shard, otherwise on a
+// bounded worker pool pulling shard tasks from a shared counter.
+func (x *Index) forEachActive(sc *scratch, batch int, fn func(s int)) {
+	if len(sc.active) == 1 || batch < minParallelBatch || x.workers < 2 {
+		for _, s := range sc.active {
+			fn(s)
+		}
+		return
+	}
+	w := x.workers
+	if w > len(sc.active) {
+		w = len(sc.active)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(sc.active) {
+					return
+				}
+				fn(sc.active[t])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MultiGet scatters the batch into per-shard sub-batches, looks each up with
+// the shard's own (possibly interleaved) MultiGet concurrently, and gathers
+// the results back into vals/found at the caller's positions. Positions are
+// disjoint across shards, so workers write back without synchronization.
+func (x *Index) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	if len(keys) == 0 {
+		return
+	}
+	if len(x.shards) == 1 {
+		x.shards[0].MultiGet(keys, vals, found)
+		return
+	}
+	sc := x.split(keys)
+	x.forEachActive(sc, len(keys), func(s int) {
+		sub := sc.keys[s]
+		sv := grow(&sc.vals[s], len(sub))
+		sf := grow(&sc.found[s], len(sub))
+		x.shards[s].MultiGet(sub, sv, sf)
+		for j, p := range sc.pos[s] {
+			vals[p] = sv[j]
+			found[p] = sf[j]
+		}
+	})
+	sc.release(x)
+}
+
+// MultiSet scatters the batch like MultiGet, writes each sub-batch with the
+// shard's MultiSet concurrently, gathers per-key errors back in caller
+// order, and returns the total number of keys newly added.
+func (x *Index) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	if len(x.shards) == 1 {
+		return x.shards[0].MultiSet(keys, vals, errs)
+	}
+	sc := x.split(keys)
+	x.forEachActive(sc, len(keys), func(s int) {
+		sub := sc.keys[s]
+		sv := grow(&sc.vals[s], len(sub))
+		for j, p := range sc.pos[s] {
+			sv[j] = vals[p]
+		}
+		var se []error
+		if errs != nil {
+			se = grow(&sc.errs[s], len(sub))
+			clear(se)
+		}
+		sc.added[s] = x.shards[s].MultiSet(sub, sv, se)
+		if errs != nil {
+			for j, p := range sc.pos[s] {
+				errs[p] = se[j]
+			}
+		}
+	})
+	added := 0
+	for _, s := range sc.active {
+		added += sc.added[s]
+	}
+	sc.release(x)
+	return added
+}
+
+// Scan walks the k-way merge cursor, preserving Index.Scan semantics.
+func (x *Index) Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int {
+	c := x.NewCursor()
+	defer c.Close()
+	visited := 0
+	for ok := c.Seek(start); ok && visited < n; ok = c.Next() {
+		visited++
+		if !fn(c.Key(), c.Value()) {
+			break
+		}
+	}
+	return visited
+}
+
+// NewCursor returns a k-way merge cursor over per-shard cursors.
+func (x *Index) NewCursor() index.Cursor {
+	cs := make([]index.Cursor, len(x.shards))
+	for i, s := range x.shards {
+		cs[i] = s.NewCursor()
+	}
+	return &mergeCursor{cursors: cs}
+}
+
+// grow resizes a pooled scratch slice to n elements, reallocating only when
+// capacity is short. Contents are unspecified; callers that need zeroed
+// slots clear them.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,237 @@
+package sharded_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	cuckootrie "repro"
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/hot"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+	"repro/internal/sharded"
+	"repro/internal/skiplist"
+	"repro/internal/wormhole"
+)
+
+// factories lists every scan-capable engine the registry can shard.
+func factories() map[string]func(capacity int) index.Index {
+	return map[string]func(capacity int) index.Index{
+		"CuckooTrie": func(c int) index.Index {
+			return cuckootrie.New(cuckootrie.Config{CapacityHint: c, AutoResize: true})
+		},
+		"ARTOLC":   func(c int) index.Index { return art.New() },
+		"HOT":      func(c int) index.Index { return hot.New() },
+		"Wormhole": func(c int) index.Index { return wormhole.New() },
+		"STX":      func(c int) index.Index { return btree.New() },
+		"SkipList": func(c int) index.Index { return skiplist.New(3) },
+	}
+}
+
+// TestConformanceSharded runs the full API v2 conformance suite against a
+// 4-shard variant of every engine: point ops, batch scatter-gather, and —
+// via the suite's ScanOrder/CursorOrder cases — globally sorted iteration
+// across shard boundaries.
+func TestConformanceSharded(t *testing.T) {
+	for name, mk := range factories() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			indextest.Run(t, func(c int) index.Index {
+				return sharded.New(4, c, mk)
+			}, indextest.Options{})
+		})
+	}
+}
+
+// TestConformanceShardCounts sweeps shard counts (including the degenerate
+// single shard and a non-power-of-two request) on one engine.
+func TestConformanceShardCounts(t *testing.T) {
+	mk := factories()["CuckooTrie"]
+	for _, shards := range []int{1, 2, 3, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("x%d", shards), func(t *testing.T) {
+			indextest.Run(t, func(c int) index.Index {
+				return sharded.New(shards, c, mk)
+			}, indextest.Options{})
+		})
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	mk := factories()["SkipList"]
+	for _, tc := range []struct{ req, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := sharded.New(tc.req, 64, mk).Shards(); got != tc.want {
+			t.Fatalf("New(%d).Shards() = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+// TestCursorAcrossShards proves globally sorted iteration across shard
+// boundaries: with 8 shards each holding a hash slice of the keyspace, a
+// full cursor walk must visit every key exactly once in ascending order,
+// with key runs genuinely alternating between shards.
+func TestCursorAcrossShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix := sharded.New(8, 1<<12, factories()["SkipList"])
+	model := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 1+rng.Intn(16))
+		rng.Read(k)
+		model[string(k)] = uint64(i)
+		if _, err := ix.Set(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([]string, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+
+	c := ix.NewCursor()
+	defer c.Close()
+	i := 0
+	var prev []byte
+	for ok := c.Seek(nil); ok; ok = c.Next() {
+		if i >= len(want) {
+			t.Fatalf("cursor visited more than %d keys", len(want))
+		}
+		if string(c.Key()) != want[i] || c.Value() != model[want[i]] {
+			t.Fatalf("cursor[%d] = %x=%d, want %x=%d",
+				i, c.Key(), c.Value(), want[i], model[want[i]])
+		}
+		if prev != nil && bytes.Compare(prev, c.Key()) >= 0 {
+			t.Fatalf("cursor disorder at %d: %x after %x", i, c.Key(), prev)
+		}
+		prev = append(prev[:0], c.Key()...)
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("cursor visited %d keys, want %d", i, len(want))
+	}
+	// Mid-stream seek lands on the global successor regardless of shard.
+	mid := []byte(want[len(want)/2])
+	if !c.Seek(mid) || !bytes.Equal(c.Key(), mid) {
+		t.Fatalf("Seek(%x) landed on %x", mid, c.Key())
+	}
+	if !c.Next() || string(c.Key()) != want[len(want)/2+1] {
+		t.Fatalf("Next after mid-seek = %x, want %x", c.Key(), want[len(want)/2+1])
+	}
+}
+
+// TestScatterGatherOrder checks that MultiGet/MultiSet results come back at
+// the caller's positions with batches big enough to take the parallel path,
+// including duplicate and missing keys.
+func TestScatterGatherOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ix := sharded.New(4, 1<<12, factories()["CuckooTrie"])
+	n := 4096
+	keys := make([][]byte, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%05d", i))
+		vals[i] = uint64(i) * 3
+	}
+	errs := make([]error, n)
+	if added := ix.MultiSet(keys, vals, errs); added != n {
+		t.Fatalf("MultiSet added %d, want %d", added, n)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+	// Shuffled batch with duplicates and misses.
+	batch := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 4:
+			batch = append(batch, []byte(fmt.Sprintf("missing-%d", i)))
+		case 3:
+			batch = append(batch, batch[rng.Intn(len(batch))])
+		default:
+			batch = append(batch, keys[rng.Intn(n)])
+		}
+	}
+	got := make([]uint64, len(batch))
+	found := make([]bool, len(batch))
+	ix.MultiGet(batch, got, found)
+	for i, k := range batch {
+		if bytes.HasPrefix(k, []byte("missing-")) {
+			if found[i] {
+				t.Fatalf("found[%d] for missing key %s", i, k)
+			}
+			continue
+		}
+		var want uint64
+		fmt.Sscanf(string(k), "key-%d", &want)
+		if !found[i] || got[i] != want*3 {
+			t.Fatalf("MultiGet[%d] (%s) = %d,%v want %d", i, k, got[i], found[i], want*3)
+		}
+	}
+}
+
+// TestConcurrentBatches hammers one sharded index from many goroutines —
+// the pooled scratch and worker write-back must be race-free (run under
+// -race in CI).
+func TestConcurrentBatches(t *testing.T) {
+	ix := sharded.New(4, 1<<14, factories()["CuckooTrie"])
+	if !ix.ConcurrentSafe() {
+		t.Fatal("sharded CuckooTrie should be concurrent-safe")
+	}
+	n := 8192
+	keys := make([][]byte, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("ck-%06d", i))
+		vals[i] = uint64(i)
+	}
+	ix.MultiSet(keys, vals, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			batch := make([][]byte, 256)
+			got := make([]uint64, len(batch))
+			found := make([]bool, len(batch))
+			for it := 0; it < 30; it++ {
+				for j := range batch {
+					batch[j] = keys[rng.Intn(n)]
+				}
+				if g%2 == 0 {
+					ix.MultiGet(batch, got, found)
+					for j := range batch {
+						if !found[j] {
+							t.Errorf("goroutine %d: missed loaded key %s", g, batch[j])
+							return
+						}
+					}
+				} else {
+					ix.MultiSet(batch, got, nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ix.Len(); got != n {
+		t.Fatalf("Len = %d after concurrent churn, want %d", got, n)
+	}
+}
+
+// TestNonConcurrentInnerNotMarked: sharding does not make a single-threaded
+// engine safe for concurrent callers (two callers can hit one shard).
+func TestNonConcurrentInnerNotMarked(t *testing.T) {
+	ix := sharded.New(4, 64, factories()["STX"])
+	if index.IsConcurrent(ix) {
+		t.Fatal("sharded STX must not report concurrent-safe")
+	}
+}

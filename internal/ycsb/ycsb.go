@@ -79,8 +79,9 @@ type Generator struct {
 	zipf     *rand.Zipf
 	keys     [][]byte // loaded keys, index [0, loaded)
 	extra    [][]byte // keys available for workload-phase inserts
+	synth    [][]byte // synthesized inserts once extra is exhausted
 	loaded   int
-	inserted int // number of extra keys consumed
+	inserted int // workload-phase inserts issued (extra + synthesized)
 	newKeys  int // inserts that actually added a key (Set added-flag)
 	maxScan  int
 }
@@ -113,30 +114,48 @@ func maxI(a, b int) int {
 
 // pickKey selects a target key per the request distribution.
 func (g *Generator) pickKey() []byte {
-	n := g.loaded
-	if n == 0 {
-		return nil
-	}
 	switch g.dist {
 	case Zipfian:
+		n := g.loaded
+		if n == 0 {
+			return nil
+		}
 		return g.keys[int(g.zipf.Uint64())%n]
 	case Latest:
-		// Cluster on the most recently inserted keys.
-		span := g.inserted
-		if span == 0 {
-			span = n
+		// Recency-skewed sample over the COMBINED loaded+inserted key
+		// sequence: position total-1 is the most recently inserted key, and
+		// the loaded keyspace sits below the workload-phase inserts, so
+		// reads keep touching loaded records as YCSB's Latest distribution
+		// specifies (clustered near, not confined to, the newest keys).
+		total := g.loaded + g.inserted
+		if total == 0 {
+			return nil
 		}
-		off := int(float64(span) * g.rng.ExpFloat64() / 4)
-		if off >= span {
-			off = span - 1
+		off := int(float64(total) * g.rng.ExpFloat64() / 4)
+		if off >= total {
+			off = total - 1
 		}
-		if g.inserted > 0 {
-			return g.extra[g.inserted-1-off]
+		idx := total - 1 - off
+		if idx < g.loaded {
+			return g.keys[idx]
 		}
-		return g.keys[n-1-off%n]
+		return g.insertedKey(idx - g.loaded)
 	default:
+		n := g.loaded
+		if n == 0 {
+			return nil
+		}
 		return g.keys[g.rng.Intn(n)]
 	}
+}
+
+// insertedKey returns the i-th workload-phase insert (0 = oldest): the
+// pre-generated pool first, then the synthesized overflow keys.
+func (g *Generator) insertedKey(i int) []byte {
+	if i < len(g.extra) {
+		return g.extra[i]
+	}
+	return g.synth[i-len(g.extra)]
 }
 
 // nextInsertKey returns a fresh key for insert operations.
@@ -146,9 +165,12 @@ func (g *Generator) nextInsertKey() []byte {
 		g.inserted++
 		return k
 	}
-	// Exhausted the pre-generated pool: synthesize.
+	// Exhausted the pre-generated pool: synthesize, and track the key so
+	// the Latest distribution's notion of "most recent" stays accurate.
 	k := make([]byte, 8)
 	g.rng.Read(k)
+	g.synth = append(g.synth, k)
+	g.inserted++
 	return k
 }
 

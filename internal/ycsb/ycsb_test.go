@@ -80,6 +80,108 @@ func TestInsertAccounting(t *testing.T) {
 	}
 }
 
+// TestLatestDistributionCoversLoadedKeys is the regression test for the
+// Latest-distribution drift: once the first workload-phase insert happened,
+// the old pickKey sampled only the insert pool and never the loaded
+// keyspace again, so workload D reads stopped touching loaded records.
+// The fix samples the combined loaded+inserted sequence, so a large share
+// of reads must still hit loaded keys throughout the run.
+func TestLatestDistributionCoversLoadedKeys(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 2000, 7)
+	loaded := 1800
+	loadedSet := map[string]bool{}
+	for _, k := range keys[:loaded] {
+		loadedSet[string(k)] = true
+	}
+	g := NewGenerator(D, Latest, keys, loaded, 8)
+	reads, loadedHits, lateLoadedHits := 0, 0, 0
+	for i := 0; i < 20000; i++ {
+		op, k, _ := g.Next()
+		if op != OpRead {
+			continue
+		}
+		reads++
+		if loadedSet[string(k)] {
+			loadedHits++
+			if g.inserted > 0 {
+				lateLoadedHits++
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("workload D produced no reads")
+	}
+	if g.inserted == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+	if frac := float64(loadedHits) / float64(reads); frac < 0.10 {
+		t.Fatalf("Latest reads hit loaded keys %.1f%% of the time; the loaded keyspace has drifted out of the distribution", frac*100)
+	}
+	// The drift specifically started after the first insert.
+	if lateLoadedHits == 0 {
+		t.Fatal("no loaded-key reads after the first insert")
+	}
+}
+
+// TestLatestSkewsRecent: the fix must keep the distribution's point — the
+// most recently inserted keys are read far more often per key than the
+// middle of the loaded keyspace.
+func TestLatestSkewsRecent(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 4000, 13)
+	loaded := 3600
+	g := NewGenerator(D, Latest, keys, loaded, 14)
+	for g.inserted < len(g.extra) { // fix the population, then sample
+		g.nextInsertKey()
+	}
+	counts := map[string]int{}
+	for i := 0; i < 100000; i++ {
+		counts[string(g.pickKey())]++
+	}
+	recent := 0 // the 10 most recently inserted keys
+	for i := g.inserted - 10; i < g.inserted; i++ {
+		recent += counts[string(g.insertedKey(i))]
+	}
+	middle := 0 // same-size slice from the middle of the loaded keyspace
+	for i := loaded / 2; i < loaded/2+10; i++ {
+		middle += counts[string(keys[i])]
+	}
+	if recent <= middle*2 {
+		t.Fatalf("recent keys read %d times vs middle %d: no recency skew", recent, middle)
+	}
+}
+
+// TestLatestTracksSynthesizedInserts: when the pre-generated pool runs out,
+// synthesized insert keys must be tracked so "latest" stays accurate, and
+// pickKey must be able to return them.
+func TestLatestTracksSynthesizedInserts(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 110, 9)
+	g := NewGenerator(D, Latest, keys, 100, 10) // only 10 pre-generated inserts
+	for i := 0; i < 40; i++ {
+		if k := g.nextInsertKey(); k == nil {
+			t.Fatal("nextInsertKey returned nil")
+		}
+	}
+	if g.inserted != 40 {
+		t.Fatalf("inserted = %d after 40 inserts, want 40", g.inserted)
+	}
+	if len(g.synth) != 30 {
+		t.Fatalf("synthesized overflow tracked %d keys, want 30", len(g.synth))
+	}
+	synthSet := map[string]bool{}
+	for _, k := range g.synth {
+		synthSet[string(k)] = true
+	}
+	hits := 0
+	for i := 0; i < 20000; i++ {
+		if synthSet[string(g.pickKey())] {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("Latest never picked a synthesized insert key")
+	}
+}
+
 func TestZipfianSkew(t *testing.T) {
 	keys := dataset.Generate(dataset.Rand8, 1000, 3)
 	g := NewGenerator(C, Zipfian, keys, 1000, 4)
