@@ -22,7 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset/workload seed")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ctbench [flags] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget sharded all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget sharded load all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,11 +46,12 @@ func main() {
 		"ablation": func() { bench.Ablation(os.Stdout, o) },
 		"multiget": func() { bench.MultiGetBench(os.Stdout, o) },
 		"sharded":  func() { bench.FigSharded(os.Stdout, o) },
+		"load":     func() { bench.FigLoad(os.Stdout, o) },
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, k := range []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget", "sharded"} {
+			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget", "sharded", "load"} {
 			runners[k]()
 		}
 		return

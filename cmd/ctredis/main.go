@@ -11,10 +11,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	cuckootrie "repro"
 	"repro/internal/art"
 	"repro/internal/btree"
+	"repro/internal/dataset"
 	"repro/internal/hot"
 	"repro/internal/index"
 	"repro/internal/miniredis"
@@ -28,6 +30,8 @@ func main() {
 	engine := flag.String("engine", "CuckooTrie", "sorted-set engine: CuckooTrie|ARTOLC|HOT|Wormhole|STX|SkipList")
 	capacity := flag.Int("capacity", 1<<20, "expected keys per sorted set")
 	shards := flag.Int("shards", 1, "shards per sorted set (>1 enables scatter-gather across cores)")
+	router := flag.String("router", "hash", "key→shard routing for sharded sets: hash|range (range keeps scans single-shard when possible)")
+	preload := flag.Int("preload", 0, "bulk-load N random 8-byte keys into set 'bench' before serving (partitioned load for sharded sets)")
 	flag.Parse()
 
 	factories := map[string]miniredis.EngineFactory{
@@ -46,15 +50,34 @@ func main() {
 	}
 	name := *engine
 	if *shards > 1 {
-		f = miniredis.ShardedFactory(f, *shards)
-		name = fmt.Sprintf("%s x%d shards", name, sharded.RoundShards(*shards))
+		mk, ok := sharded.RouterByName(*router)
+		if !ok {
+			log.Fatalf("unknown router %q (want hash or range)", *router)
+		}
+		f = miniredis.ShardedFactoryWithRouter(f, *shards, mk)
+		name = fmt.Sprintf("%s x%d shards, %s-routed", name, sharded.RoundShards(*shards), *router)
 	}
 	srv := miniredis.NewServer(f, *capacity, true)
+	if *preload > 0 {
+		keys := dataset.Generate(dataset.Rand8, *preload, 1)
+		vals := make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		start := time.Now()
+		added, err := srv.Preload("bench", keys, vals)
+		if err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		d := time.Since(start)
+		fmt.Printf("preloaded %d keys into 'bench' in %v (%.3f Mops/s)\n",
+			added, d.Round(time.Millisecond), float64(len(keys))/d.Seconds()/1e6)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ctredis listening on %s (engine: %s)\n", bound, name)
+	fmt.Printf("ctredis listening on %s (engine: %s, %d keyspace stripes)\n", bound, name, srv.Stripes())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

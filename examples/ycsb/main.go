@@ -16,8 +16,8 @@ func main() {
 	keys := dataset.Generate(dataset.Rand8, n, 1)
 	for _, wl := range []ycsb.Workload{ycsb.A, ycsb.B, ycsb.C, ycsb.F} {
 		t := cuckootrie.New(cuckootrie.Config{CapacityHint: n, AutoResize: true})
-		for i, k := range keys {
-			t.Set(k, uint64(i))
+		if _, err := ycsb.LoadPhase(t, keys); err != nil {
+			panic(err)
 		}
 		g := ycsb.NewGenerator(wl, ycsb.Uniform, keys, n, 42)
 		start := time.Now()

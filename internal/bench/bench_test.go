@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -27,7 +28,8 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 		{"fig12", func(o Options, b *bytes.Buffer) { Fig12(b, o) }, []string{"MlpIndex", "bytes/key"}},
 		{"table3", func(o Options, b *bytes.Buffer) { Table3(b, o) }, []string{"DRAM", "UPI"}},
 		{"ablation", func(o Options, b *bytes.Buffer) { Ablation(b, o) }, []string{"nodes/key", "D=5"}},
-		{"sharded", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigSharded(b, o) }, []string{"CuckooTrie", "x2", "x4", "shard count"}},
+		{"sharded", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigSharded(b, o) }, []string{"CuckooTrie", "x2", "x4", "shard count", "router=hash", "GOMAXPROCS="}},
+		{"load", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigLoad(b, o) }, []string{"CuckooTrie", "hash-x2", "range-x4", "router", "GOMAXPROCS="}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -158,6 +160,18 @@ func TestShardedEngineRegistry(t *testing.T) {
 		if !found[i] || got[i] != vals[i] {
 			t.Fatalf("sharded MultiGet[%d] = %d,%v", i, got[i], found[i])
 		}
+	}
+}
+
+// TestHeaderNamesEnvironment: every figure banner must carry GOMAXPROCS so
+// multi-core runs are attributable (PR 2's 1-core sharded numbers were
+// ambiguous without it).
+func TestHeaderNamesEnvironment(t *testing.T) {
+	var buf bytes.Buffer
+	header(&buf, "t", "p")
+	want := fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("header output missing %q:\n%s", want, buf.String())
 	}
 }
 

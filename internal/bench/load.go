@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/sharded"
+)
+
+// FigLoad measures the partitioned bulk-load path: LOAD-phase throughput
+// (Mops/s) by shard count and router. Column x1 is the unsharded engine
+// loading through the chunked-MultiSet fallback; the hash-xN / range-xN
+// columns partition the insert stream up front and load the per-shard
+// sub-streams concurrently on the worker pool — the ingest-side analogue
+// of the scatter-gather MultiGet figure. On a single-core box the sharded
+// columns only bound the partitioning overhead; the banner's GOMAXPROCS
+// says which regime produced the numbers.
+func FigLoad(w io.Writer, o Options) {
+	o.Fill()
+	header(w, "Load: partitioned bulk-load throughput by shard count and router (Mops/s)",
+		"ingest-side cross-core MLP; range routing trades first-byte balance for scan locality")
+	shardCounts := shardLadder(o.Shards)
+
+	type column struct {
+		label  string
+		shards int
+		mk     sharded.RouterMaker
+	}
+	cols := []column{{"x1", 1, nil}}
+	for _, s := range shardCounts {
+		if s == 1 {
+			continue
+		}
+		cols = append(cols, column{fmt.Sprintf("hash-x%d", s), s, sharded.NewHashRouter})
+		cols = append(cols, column{fmt.Sprintf("range-x%d", s), s, sharded.NewPrefixRouter})
+	}
+
+	ks := datasetKeys(dataset.Rand8, o.Keys, o.Seed)
+	vals := make([]uint64, len(ks))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	fmt.Fprintf(w, "\n%-14s", "")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%10s", c.label)
+	}
+	fmt.Fprintln(w)
+	for _, e := range Engines() {
+		if !e.Concurrent {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s", e.Name)
+		for _, c := range cols {
+			var ix index.Index
+			if c.shards == 1 {
+				ix = e.New(len(ks))
+			} else {
+				ix = sharded.NewWithRouter(c.shards, len(ks), e.New, c.mk)
+			}
+			start := time.Now()
+			if _, err := index.BulkLoad(ix, ks, vals); err != nil {
+				panic(fmt.Sprintf("%s %s load: %v", e.Name, c.label, err))
+			}
+			fmt.Fprintf(w, "%10.3f", mops(len(ks), time.Since(start)))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -36,7 +36,7 @@ const shardedBatchSize = 512
 // measure the scatter overhead.
 func FigSharded(w io.Writer, o Options) {
 	o.Fill()
-	header(w, fmt.Sprintf("Sharded scatter-gather: MultiGet throughput by shard count (Mops/s, batch=%d)", shardedBatchSize),
+	header(w, fmt.Sprintf("Sharded scatter-gather: MultiGet throughput by shard count (Mops/s, batch=%d, router=hash)", shardedBatchSize),
 		"cross-core MLP; sharded engines scale with shard count up to the core count")
 	shardCounts := shardLadder(o.Shards)
 	ks := datasetKeys(dataset.Rand8, o.Keys, o.Seed)

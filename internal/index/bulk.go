@@ -1,0 +1,54 @@
+package index
+
+// BulkLoader is implemented by indexes with a native bulk-ingest path —
+// e.g. the sharded engine, which partitions the whole insert stream into
+// per-shard sub-streams up front and loads them concurrently. Semantics
+// match a sequence of Set calls in stream order: a key appearing twice
+// ends up with its later value, and added counts only first appearances.
+type BulkLoader interface {
+	// BulkLoad inserts keys[i] → vals[i] for every i (vals must have at
+	// least len(keys) elements), returning the number of keys newly added
+	// and the first error encountered. Keys after a failed one are still
+	// attempted, matching MultiSet.
+	BulkLoad(keys [][]byte, vals []uint64) (added int, err error)
+}
+
+// BulkLoad loads keys[i] → vals[i] into ix through its native BulkLoader
+// when it has one, and through the chunked MultiSet fallback otherwise.
+// This is the one entry point the YCSB LOAD phase, the bench harness, and
+// the mini-Redis preload all share.
+func BulkLoad(ix Index, keys [][]byte, vals []uint64) (int, error) {
+	if bl, ok := ix.(BulkLoader); ok {
+		return bl.BulkLoad(keys, vals)
+	}
+	return FallbackBulkLoad(ix, keys, vals)
+}
+
+// bulkChunk is the batch size FallbackBulkLoad feeds to MultiSet: large
+// enough to amortize any native batch path, small enough that the per-key
+// error scratch stays cache-resident.
+const bulkChunk = 4096
+
+// FallbackBulkLoad implements BulkLoader semantics over MultiSet, in
+// chunks of bulkChunk keys. Every chunk is attempted even when an earlier
+// one carried an error (matching MultiSet's keep-going contract); the
+// first error is returned.
+func FallbackBulkLoad(ix Index, keys [][]byte, vals []uint64) (int, error) {
+	added := 0
+	var firstErr error
+	errs := make([]error, min(bulkChunk, len(keys)))
+	for off := 0; off < len(keys); off += bulkChunk {
+		end := min(off+bulkChunk, len(keys))
+		ec := errs[:end-off]
+		added += ix.MultiSet(keys[off:end], vals[off:end], ec)
+		if firstErr == nil {
+			for _, e := range ec {
+				if e != nil {
+					firstErr = e
+					break
+				}
+			}
+		}
+	}
+	return added, firstErr
+}

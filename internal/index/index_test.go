@@ -1,6 +1,7 @@
 package index_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/art"
@@ -59,5 +60,54 @@ func TestFallbackBatchHelpers(t *testing.T) {
 	}
 	if found[3] {
 		t.Fatal("FallbackMultiGet found a missing key")
+	}
+}
+
+// failKeyIndex wraps an index and fails Set for one specific key, routing
+// MultiSet through the loop fallback so the failure is visible to it.
+type failKeyIndex struct {
+	index.Index
+	bad string
+}
+
+func (f failKeyIndex) Set(k []byte, v uint64) (bool, error) {
+	if string(k) == f.bad {
+		return false, errBad
+	}
+	return f.Index.Set(k, v)
+}
+
+func (f failKeyIndex) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(f, keys, vals, errs)
+}
+
+var errBad = fmt.Errorf("injected failure")
+
+// TestFallbackBulkLoadKeepsGoing: an error in an early chunk must not
+// abandon the later chunks — BulkLoader semantics match MultiSet's
+// keep-going contract, so every loadable key lands and the first error is
+// still reported. The stream here spans several 4096-key chunks with the
+// failing key in the first one.
+func TestFallbackBulkLoadKeepsGoing(t *testing.T) {
+	n := 10_000
+	keys := make([][]byte, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%05d", i))
+		vals[i] = uint64(i)
+	}
+	ix := failKeyIndex{btree.New(), "k00100"}
+	added, err := index.BulkLoad(ix, keys, vals)
+	if err == nil {
+		t.Fatal("BulkLoad swallowed the injected error")
+	}
+	if added != n-1 {
+		t.Fatalf("BulkLoad added %d, want %d (all but the failing key)", added, n-1)
+	}
+	if _, ok := ix.Get([]byte("k09999")); !ok {
+		t.Fatal("key from a chunk after the failing one never landed")
+	}
+	if _, ok := ix.Get([]byte("k00100")); ok {
+		t.Fatal("failing key landed")
 	}
 }

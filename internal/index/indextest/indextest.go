@@ -37,6 +37,7 @@ func Run(t *testing.T, mk func(capacity int) index.Index, opts Options) {
 	t.Run("SetAdded", func(t *testing.T) { testSetAdded(t, mk, opts) })
 	t.Run("MultiGet", func(t *testing.T) { testMultiGet(t, mk, opts) })
 	t.Run("MultiSet", func(t *testing.T) { testMultiSet(t, mk, opts) })
+	t.Run("BulkLoad", func(t *testing.T) { testBulkLoad(t, mk, opts) })
 	t.Run("RandomModel", func(t *testing.T) { testRandomModel(t, mk, opts) })
 	t.Run("Cursor", func(t *testing.T) { testCursor(t, mk, opts) })
 	if !opts.NoScan {
@@ -322,6 +323,83 @@ func testMultiSet(t *testing.T, mk func(int) index.Index, opts Options) {
 	}
 	if added := ix.MultiSet(mixed, mvals, nil); added != wantAdded {
 		t.Fatalf("mixed MultiSet added %d, want %d", added, wantAdded)
+	}
+}
+
+// testBulkLoad is the bulk-load equivalence test: an index built through
+// index.BulkLoad (native BulkLoader or the MultiSet fallback) must be
+// element-for-element identical — Len, Get, and full Scan stream — to one
+// built by incremental Set over the same insert stream, including
+// duplicate keys (last write wins) and the newly-added accounting.
+func testBulkLoad(t *testing.T, mk func(int) index.Index, opts Options) {
+	rng := rand.New(rand.NewSource(50))
+	n := 3000
+	keys := make([][]byte, 0, n)
+	vals := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		var k []byte
+		if len(keys) > 0 && i%7 == 3 {
+			k = keys[rng.Intn(len(keys))] // in-stream duplicate: later value wins
+		} else {
+			k = opts.key(rng)
+		}
+		keys = append(keys, k)
+		vals = append(vals, uint64(i))
+	}
+
+	bulk := mk(n)
+	added, err := index.BulkLoad(bulk, keys, vals)
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+
+	incr := mk(n)
+	wantAdded := 0
+	for i, k := range keys {
+		if mustSet(t, incr, k, vals[i]) {
+			wantAdded++
+		}
+	}
+	if added != wantAdded {
+		t.Fatalf("BulkLoad added %d, incremental added %d", added, wantAdded)
+	}
+	if bulk.Len() != incr.Len() {
+		t.Fatalf("Len: bulk %d, incremental %d", bulk.Len(), incr.Len())
+	}
+	for _, k := range keys {
+		bv, bok := bulk.Get(k)
+		iv, iok := incr.Get(k)
+		if bok != iok || bv != iv {
+			t.Fatalf("Get(%x): bulk %d,%v incremental %d,%v", k, bv, bok, iv, iok)
+		}
+	}
+	if !opts.NoScan {
+		type kv struct {
+			k string
+			v uint64
+		}
+		collect := func(ix index.Index) []kv {
+			var out []kv
+			ix.Scan(nil, 1<<30, func(k []byte, v uint64) bool {
+				out = append(out, kv{string(k), v})
+				return true
+			})
+			return out
+		}
+		bs, is := collect(bulk), collect(incr)
+		if len(bs) != len(is) {
+			t.Fatalf("scan: bulk %d keys, incremental %d", len(bs), len(is))
+		}
+		for i := range bs {
+			if bs[i] != is[i] {
+				t.Fatalf("scan[%d]: bulk %x=%d, incremental %x=%d",
+					i, bs[i].k, bs[i].v, is[i].k, is[i].v)
+			}
+		}
+	}
+	// An empty load is a no-op, not a panic.
+	if added, err := index.BulkLoad(mk(4), nil, nil); added != 0 || err != nil {
+		t.Fatalf("empty BulkLoad = %d, %v", added, err)
 	}
 }
 

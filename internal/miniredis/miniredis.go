@@ -13,11 +13,17 @@
 // The server drains pipelined commands in batches: runs of ZSCOREs against
 // the same sorted set collapse into one MultiGet, so an MLP-aware engine
 // overlaps the whole pipeline's DRAM misses (§4.4 generalized across keys).
+// The keyspace itself — set name → index — is striped across power-of-two
+// lock stripes (set-name hash routing), so concurrent connections never
+// serialize on a single keyspace mutex just to resolve which set a command
+// targets.
 package miniredis
 
 import (
 	"fmt"
+	"hash/maphash"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,35 +43,136 @@ type EngineFactory func(capacityHint int) index.Index
 // scatter-gather index (see internal/sharded): pipelined ZSCORE runs that
 // collapse into one MultiGet then fan out across cores, one sub-batch per
 // shard, composing cross-core parallelism with each shard's batch path.
+// Keys route by hash; see ShardedFactoryWithRouter for range routing.
 func ShardedFactory(inner EngineFactory, shards int) EngineFactory {
+	return ShardedFactoryWithRouter(inner, shards, sharded.NewHashRouter)
+}
+
+// ShardedFactoryWithRouter is ShardedFactory with an explicit routing mode:
+// under sharded.NewPrefixRouter the shards range-partition each sorted set,
+// so a ZRANGEBYLEX whose range lives in one shard bypasses the k-way merge.
+func ShardedFactoryWithRouter(inner EngineFactory, shards int, mk sharded.RouterMaker) EngineFactory {
 	return func(capacityHint int) index.Index {
-		return sharded.New(shards, capacityHint, inner)
+		return sharded.NewWithRouter(shards, capacityHint, inner, mk)
+	}
+}
+
+// keyspace maps set names to their indexes across power-of-two lock
+// stripes, so concurrent connections resolving different sets do not
+// serialize on one mutex: a set name hashes to a stripe, and only that
+// stripe's lock is taken. Lookups of existing sets take the stripe's read
+// lock; creation upgrades to the write lock and re-checks, so two
+// connections racing to create the same set always converge on one index.
+type keyspace struct {
+	seed    maphash.Seed
+	mask    uint64
+	stripes []stripe
+}
+
+type stripe struct {
+	mu   sync.RWMutex
+	sets map[string]index.Index
+	// Pad each stripe to its own cache line (RWMutex 24B + map header 8B
+	// = 32B on 64-bit): without it two adjacent stripes share a line and
+	// their lock traffic false-shares, re-serializing at the coherence
+	// level what the striping is meant to spread.
+	_ [32]byte
+}
+
+// newKeyspace builds a keyspace with n stripes rounded up to a power of
+// two.
+func newKeyspace(n int) *keyspace {
+	n = sharded.RoundShards(n)
+	ks := &keyspace{
+		seed:    maphash.MakeSeed(),
+		mask:    uint64(n - 1),
+		stripes: make([]stripe, n),
+	}
+	for i := range ks.stripes {
+		ks.stripes[i].sets = make(map[string]index.Index)
+	}
+	return ks
+}
+
+func (ks *keyspace) stripeFor(name string) *stripe {
+	return &ks.stripes[maphash.String(ks.seed, name)&ks.mask]
+}
+
+// get returns the named set, creating it with mk on first use.
+func (ks *keyspace) get(name string, mk func() index.Index) index.Index {
+	st := ks.stripeFor(name)
+	st.mu.RLock()
+	ix, ok := st.sets[name]
+	st.mu.RUnlock()
+	if ok {
+		return ix
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ix, ok := st.sets[name]; ok {
+		return ix // lost the creation race: use the winner's index
+	}
+	ix = mk()
+	st.sets[name] = ix
+	return ix
+}
+
+// totalLen sums the key counts of every set (DBSIZE).
+func (ks *keyspace) totalLen() int {
+	total := 0
+	for i := range ks.stripes {
+		st := &ks.stripes[i]
+		st.mu.RLock()
+		for _, ix := range st.sets {
+			total += ix.Len()
+		}
+		st.mu.RUnlock()
+	}
+	return total
+}
+
+// flush drops every set (FLUSHALL).
+func (ks *keyspace) flush() {
+	for i := range ks.stripes {
+		st := &ks.stripes[i]
+		st.mu.Lock()
+		st.sets = make(map[string]index.Index)
+		st.mu.Unlock()
 	}
 }
 
 // Server is the mini-Redis server.
 type Server struct {
-	mu       sync.Mutex
-	factory  EngineFactory
-	capacity int
-	sets     map[string]index.Index
-	ln       net.Listener
-	wg       sync.WaitGroup
-	serial   bool // single-threaded command execution (Redis's model)
-	cmdMu    sync.Mutex
+	create func() index.Index // factory bound to the capacity hint once
+	ks     *keyspace
+	ln     net.Listener
+	wg     sync.WaitGroup
+	serial bool // single-threaded command execution (Redis's model)
+	cmdMu  sync.Mutex
 }
 
 // NewServer creates a server whose sorted sets use the given engine.
 // serial mimics Redis's single-threaded command loop; with serial=false,
 // connections execute commands concurrently (safe only for concurrent-safe
-// engines).
+// engines). The keyspace is striped either way, so set resolution never
+// serializes connections on a single lock.
 func NewServer(factory EngineFactory, capacityHint int, serial bool) *Server {
 	return &Server{
-		factory:  factory,
-		capacity: capacityHint,
-		sets:     make(map[string]index.Index),
-		serial:   serial,
+		create: func() index.Index { return factory(capacityHint) },
+		ks:     newKeyspace(max(8, runtime.GOMAXPROCS(0))),
+		serial: serial,
 	}
+}
+
+// Stripes reports the power-of-two keyspace stripe count.
+func (s *Server) Stripes() int { return len(s.ks.stripes) }
+
+// Preload bulk-loads keys[i] → vals[i] into the named sorted set through
+// the engine's bulk-load path (index.BulkLoad) — the partitioned
+// concurrent ingest for sharded engines — creating the set if needed. It
+// is meant for warming a server before benchmarking, off the RESP path.
+func (s *Server) Preload(set string, keys [][]byte, vals []uint64) (int, error) {
+	return index.BulkLoad(s.set(set), keys, vals)
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" picks a free port) and
@@ -102,14 +209,7 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) set(key string) index.Index {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ix, ok := s.sets[key]
-	if !ok {
-		ix = s.factory(s.capacity)
-		s.sets[key] = ix
-	}
-	return ix
+	return s.ks.get(key, s.create)
 }
 
 // maxPipelineBatch bounds how many pipelined commands one dispatch drains.
@@ -293,17 +393,9 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 			w.WriteBulk(m)
 		}
 	case "DBSIZE":
-		s.mu.Lock()
-		total := 0
-		for _, ix := range s.sets {
-			total += ix.Len()
-		}
-		s.mu.Unlock()
-		w.WriteInt(int64(total))
+		w.WriteInt(int64(s.ks.totalLen()))
 	case "FLUSHALL":
-		s.mu.Lock()
-		s.sets = make(map[string]index.Index)
-		s.mu.Unlock()
+		s.ks.flush()
 		w.WriteSimple("OK")
 	default:
 		w.WriteError(fmt.Sprintf("unknown command '%s'", cmd[0]))

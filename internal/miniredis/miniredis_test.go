@@ -3,11 +3,14 @@ package miniredis
 import (
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	cuckootrie "repro"
 	"repro/internal/index"
 	"repro/internal/resp"
+	"repro/internal/sharded"
 	"repro/internal/skiplist"
 )
 
@@ -400,6 +403,179 @@ func TestShardedFactory(t *testing.T) {
 		if string(m.([]byte)) != want {
 			t.Fatalf("sharded range[%d] = %s, want %s", i, m, want)
 		}
+	}
+}
+
+// TestConcurrentSetCreationSameName: many goroutines race to create the
+// SAME set — the striped keyspace's double-checked creation must hand
+// every caller the one winning index (run under -race in CI). If two
+// indexes were ever created for one name, some writers' members would land
+// in an orphaned index and the final count would come up short.
+func TestConcurrentSetCreationSameName(t *testing.T) {
+	srv := NewServer(func(c int) index.Index {
+		return cuckootrie.New(cuckootrie.Config{CapacityHint: c, AutoResize: true})
+	}, 64, false)
+	const writers = 16
+	var wg sync.WaitGroup
+	first := make([]index.Index, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ix := srv.set("shared")
+			first[g] = ix
+			if _, err := ix.Set([]byte(fmt.Sprintf("member-%02d", g)), uint64(g)); err != nil {
+				t.Errorf("writer %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < writers; g++ {
+		if first[g] != first[0] {
+			t.Fatalf("writer %d got a different index instance than writer 0", g)
+		}
+	}
+	ix := srv.set("shared")
+	if ix.Len() != writers {
+		t.Fatalf("shared set has %d members, want %d — a creation race dropped an index",
+			ix.Len(), writers)
+	}
+	if srv.ks.totalLen() != writers {
+		t.Fatalf("keyspace total %d, want %d", srv.ks.totalLen(), writers)
+	}
+}
+
+// TestConcurrentSetCreationAcrossStripes: goroutines creating DISTINCT
+// sets concurrently — lookups land on different stripes and must not lose
+// map entries or serialize incorrectly; every set ends up with exactly its
+// own member, and DBSIZE sums across all stripes.
+func TestConcurrentSetCreationAcrossStripes(t *testing.T) {
+	srv, cl := newTestServer(t)
+	if srv.Stripes() < 8 {
+		t.Fatalf("keyspace has %d stripes, want >= 8", srv.Stripes())
+	}
+	const sets = 64
+	var wg sync.WaitGroup
+	for g := 0; g < sets; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("set-%03d", g)
+			ix := srv.set(name)
+			if _, err := ix.Set([]byte("m"), uint64(g)); err != nil {
+				t.Errorf("set %s: %v", name, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < sets; g++ {
+		ix := srv.set(fmt.Sprintf("set-%03d", g))
+		if v, ok := ix.Get([]byte("m")); !ok || v != uint64(g) {
+			t.Fatalf("set-%03d member = %d,%v want %d", g, v, ok, g)
+		}
+		if ix.Len() != 1 {
+			t.Fatalf("set-%03d has %d members, want 1", g, ix.Len())
+		}
+	}
+	if r, _ := cl.Do([]byte("DBSIZE")); r != int64(sets) {
+		t.Fatalf("DBSIZE = %v, want %d", r, sets)
+	}
+	// FLUSHALL clears every stripe.
+	if r, _ := cl.Do([]byte("FLUSHALL")); r != "OK" {
+		t.Fatalf("FLUSHALL = %v", r)
+	}
+	if r, _ := cl.Do([]byte("DBSIZE")); r != int64(0) {
+		t.Fatalf("DBSIZE after FLUSHALL = %v", r)
+	}
+}
+
+// TestRangeRoutedFactory serves range-partitioned sorted sets: ZRANGEBYLEX
+// runs ride the chain cursor (single-shard fast path when the range allows
+// it) and must still return globally ordered members.
+func TestRangeRoutedFactory(t *testing.T) {
+	factory := ShardedFactoryWithRouter(
+		func(c int) index.Index { return skiplist.New(1) }, 4, sharded.NewPrefixRouter)
+	srv := NewServer(factory, 64, true)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// First bytes spanning all four prefix shards.
+	var load [][][]byte
+	for i := 0; i < 256; i += 2 {
+		load = append(load, [][]byte{
+			[]byte("ZADD"), []byte("s"), {byte(i), 'x'}, []byte(fmt.Sprint(i)),
+		})
+	}
+	if _, err := cl.Pipeline(load); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.Do([]byte("ZRANGEBYLEX"), []byte("s"), []byte{0x41}, []byte("8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := r.([]interface{})
+	if len(arr) != 8 {
+		t.Fatalf("range returned %d members", len(arr))
+	}
+	for i, m := range arr {
+		want := []byte{byte(0x42 + 2*i), 'x'}
+		if string(m.([]byte)) != string(want) {
+			t.Fatalf("range[%d] = %x, want %x", i, m, want)
+		}
+	}
+	// A range crossing the 0x80 shard boundary stays ordered.
+	r, err = cl.Do([]byte("ZRANGEBYLEX"), []byte("s"), []byte{0x7b}, []byte("6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr = r.([]interface{})
+	prev := []byte{}
+	for i, m := range arr {
+		b := m.([]byte)
+		if string(b) <= string(prev) {
+			t.Fatalf("cross-boundary range disorder at %d: %x after %x", i, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestPreload bulk-loads a set off the RESP path and reads it back over
+// the wire.
+func TestPreload(t *testing.T) {
+	factory := ShardedFactory(func(c int) index.Index { return skiplist.New(1) }, 4)
+	srv := NewServer(factory, 1024, true)
+	keys := make([][]byte, 500)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%04d", i))
+		vals[i] = uint64(i)
+	}
+	added, err := srv.Preload("warm", keys, vals)
+	if err != nil || added != len(keys) {
+		t.Fatalf("Preload = %d, %v", added, err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if r, _ := cl.Do([]byte("ZSCORE"), []byte("warm"), []byte("k0123")); string(r.([]byte)) != "123" {
+		t.Fatalf("ZSCORE preloaded key = %v", r)
+	}
+	if r, _ := cl.Do([]byte("DBSIZE")); r != int64(len(keys)) {
+		t.Fatalf("DBSIZE = %v, want %d", r, len(keys))
 	}
 }
 

@@ -1,0 +1,68 @@
+package sharded
+
+import "repro/internal/index"
+
+// BulkLoad implements index.BulkLoader with a partitioned ingest path: the
+// whole insert stream is split into per-shard sub-streams up front (one
+// routing pass, exact-size allocations), and the sub-streams load
+// concurrently on the worker pool — each through the shard's own bulk
+// path. A key always routes to one shard and sub-streams preserve stream
+// order, so duplicate keys keep last-write-wins semantics even though
+// shards load in parallel. Returns the total newly-added count and the
+// first error in shard order.
+func (x *Index) BulkLoad(keys [][]byte, vals []uint64) (int, error) {
+	n := len(x.shards)
+	if n == 1 {
+		return index.BulkLoad(x.shards[0], keys, vals)
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	vals = vals[:len(keys)]
+
+	// Routing pass: shard ids once, counts for exact sub-stream sizing.
+	route := make([]int32, len(keys))
+	counts := make([]int, n)
+	for i, k := range keys {
+		s := x.router.Route(k)
+		route[i] = int32(s)
+		counts[s]++
+	}
+	subKeys := make([][][]byte, n)
+	subVals := make([][]uint64, n)
+	for s := 0; s < n; s++ {
+		if counts[s] > 0 {
+			subKeys[s] = make([][]byte, 0, counts[s])
+			subVals[s] = make([]uint64, 0, counts[s])
+		}
+	}
+	for i, k := range keys {
+		s := route[i]
+		subKeys[s] = append(subKeys[s], k)
+		subVals[s] = append(subVals[s], vals[i])
+	}
+
+	// Concurrent load on the shared shard scheduler, one task per busy
+	// shard.
+	busy := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if counts[s] > 0 {
+			busy = append(busy, s)
+		}
+	}
+	addedBy := make([]int, n)
+	errBy := make([]error, n)
+	x.runShards(busy, len(keys), func(s int) {
+		addedBy[s], errBy[s] = index.BulkLoad(x.shards[s], subKeys[s], subVals[s])
+	})
+
+	added := 0
+	var firstErr error
+	for _, s := range busy {
+		added += addedBy[s]
+		if errBy[s] != nil && firstErr == nil {
+			firstErr = errBy[s]
+		}
+	}
+	return added, firstErr
+}

@@ -2,6 +2,7 @@ package sharded
 
 import (
 	"bytes"
+	"sync/atomic"
 
 	"repro/internal/index"
 )
@@ -11,17 +12,27 @@ import (
 // each shard cursor's current key. Hash partitioning stores a key in
 // exactly one shard, but ties are still broken by shard id so iteration is
 // deterministic for any inner engine.
+//
+// The cursor is pooled: Close returns it to its Index's pool instead of
+// discarding it, and the per-shard cursors stay open across recycles — the
+// next Seek repositions them, so a Scan-heavy caller allocates neither the
+// merge structure nor the shard cursors after warm-up.
 type mergeCursor struct {
-	cursors []index.Cursor
-	heap    []int // shard ids of valid cursors, min-heap on current key
+	x       *Index
+	cursors []index.Cursor // lazily opened, kept open while pooled
+	heap    []int          // shard ids of valid cursors, min-heap on current key
+	closed  atomic.Bool
 }
 
 // Seek positions every shard cursor at its smallest key ≥ start and
 // rebuilds the heap; the heap top is then the global successor of start.
 func (c *mergeCursor) Seek(start []byte) bool {
 	c.heap = c.heap[:0]
-	for i, cur := range c.cursors {
-		if cur.Seek(start) {
+	for i := range c.cursors {
+		if c.cursors[i] == nil {
+			c.cursors[i] = c.x.shards[i].NewCursor()
+		}
+		if c.cursors[i].Seek(start) {
 			c.heap = append(c.heap, i)
 		}
 	}
@@ -64,11 +75,17 @@ func (c *mergeCursor) Next() bool {
 	return len(c.heap) > 0
 }
 
+// Close invalidates the cursor and recycles it (and its still-open shard
+// cursors) through the Index's pool. The CAS makes a redundant Close —
+// even from another goroutine — a no-op instead of a double pool Put;
+// Closing a cursor the pool has already handed to someone else is the
+// same contract violation as any other use-after-Close.
 func (c *mergeCursor) Close() {
-	for _, cur := range c.cursors {
-		cur.Close()
+	if !c.closed.CompareAndSwap(false, true) {
+		return
 	}
-	c.heap = nil
+	c.heap = c.heap[:0]
+	c.x.cursors.Put(c)
 }
 
 // less orders heap entries by current key, then shard id.
@@ -95,4 +112,85 @@ func (c *mergeCursor) siftDown(i int) {
 		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
 		i = min
 	}
+}
+
+// chainCursor iterates an order-preserving (range-routed) Index: shard i's
+// keys all sort below shard i+1's, so global order is just shard 0, then
+// shard 1, and so on — no merge. Shard cursors are opened lazily, only
+// when iteration actually reaches their shard: a Seek whose range is
+// served entirely by the owning shard never touches the others, which is
+// the range router's scan fast path.
+//
+// Like mergeCursor, the cursor is pooled: Close recycles it and any opened
+// shard cursors; the next Seek repositions them.
+type chainCursor struct {
+	x       *Index
+	cursors []index.Cursor // lazily opened, kept open while pooled
+	cur     int            // current shard; len(cursors) when exhausted
+	closed  atomic.Bool
+}
+
+func (c *chainCursor) ensure(i int) index.Cursor {
+	if c.cursors[i] == nil {
+		c.cursors[i] = c.x.shards[i].NewCursor()
+	}
+	return c.cursors[i]
+}
+
+// Seek starts at start's owning shard — later shards hold only greater
+// keys, earlier ones only smaller — and chains forward until a shard has a
+// key ≥ start.
+func (c *chainCursor) Seek(start []byte) bool {
+	for c.cur = c.x.router.Route(start); c.cur < len(c.cursors); c.cur++ {
+		if c.ensure(c.cur).Seek(start) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *chainCursor) Valid() bool {
+	return c.cur < len(c.cursors) && c.cursors[c.cur].Valid()
+}
+
+func (c *chainCursor) Key() []byte {
+	if !c.Valid() {
+		return nil
+	}
+	return c.cursors[c.cur].Key()
+}
+
+func (c *chainCursor) Value() uint64 {
+	if !c.Valid() {
+		return 0
+	}
+	return c.cursors[c.cur].Value()
+}
+
+// Next advances within the current shard, rolling over to the next
+// non-empty shard's minimum when it runs dry.
+func (c *chainCursor) Next() bool {
+	if c.cur >= len(c.cursors) {
+		return false
+	}
+	if c.cursors[c.cur].Next() {
+		return true
+	}
+	for c.cur++; c.cur < len(c.cursors); c.cur++ {
+		if c.ensure(c.cur).Seek(nil) {
+			return true
+		}
+	}
+	return false
+}
+
+// Close invalidates the cursor and recycles it (and its opened shard
+// cursors) through the Index's pool. See mergeCursor.Close for the CAS
+// rationale.
+func (c *chainCursor) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.cur = len(c.cursors)
+	c.x.cursors.Put(c)
 }

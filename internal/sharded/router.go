@@ -1,0 +1,95 @@
+package sharded
+
+import "hash/maphash"
+
+// Router maps keys to shards. The routing policy determines not just load
+// balance but which ordered-operation strategy is available: a hash router
+// spreads any key distribution evenly but scatters the key order across
+// shards, so scans need a k-way merge; a range router keeps the order, so
+// scans walk shards sequentially and a range that lives in one shard opens
+// only that shard's cursor.
+type Router interface {
+	// Route returns the owning shard of key, in [0, shards). A nil key
+	// routes like the empty key.
+	Route(key []byte) int
+	// Ordered reports whether routing preserves key order across shards:
+	// every key owned by shard i compares lexicographically below every key
+	// owned by shard i+1. Ordered routers let scans and cursors iterate
+	// shards in sequence — no merge — opening each shard's cursor only when
+	// the iteration actually reaches it.
+	Ordered() bool
+	// Name identifies the routing mode in benchmark output.
+	Name() string
+}
+
+// RouterMaker builds a Router for a power-of-two shard count. New and
+// NewWithRouter invoke it with the rounded shard count so the router and
+// the shard slice can never disagree.
+type RouterMaker func(shards int) Router
+
+// RouterByName resolves a routing mode by its benchmark name.
+func RouterByName(name string) (RouterMaker, bool) {
+	switch name {
+	case "hash":
+		return NewHashRouter, true
+	case "range":
+		return NewPrefixRouter, true
+	}
+	return nil, false
+}
+
+// hashRouter routes by maphash of the whole key: even load for any key
+// distribution, but shard-scattered key order.
+type hashRouter struct {
+	seed maphash.Seed
+	mask uint64
+}
+
+// NewHashRouter returns the default maphash router for a power-of-two
+// shard count.
+func NewHashRouter(shards int) Router {
+	return &hashRouter{seed: maphash.MakeSeed(), mask: uint64(shards - 1)}
+}
+
+func (r *hashRouter) Route(key []byte) int {
+	return int(maphash.Bytes(r.seed, key) & r.mask)
+}
+
+func (r *hashRouter) Ordered() bool { return false }
+func (r *hashRouter) Name() string  { return "hash" }
+
+// prefixRouter partitions the keyspace by a fixed-length key prefix: shard
+// = the top log2(shards) bits of the key's first 8 bytes (zero-padded).
+// Zero-padded big-endian prefixes are monotone in the lexicographic key
+// order, so the partition is a range partition: shard i's keys all sort
+// below shard i+1's. Load balance is only as good as the key
+// distribution's first bytes — uniform for random keys, skewed for keys
+// sharing a common prefix — which is the classic range-partitioning
+// trade-off for order-aware scans.
+type prefixRouter struct {
+	bits uint // log2(shards)
+}
+
+// NewPrefixRouter returns a range router over a fixed key prefix for a
+// power-of-two shard count.
+func NewPrefixRouter(shards int) Router {
+	bits := uint(0)
+	for 1<<bits < shards {
+		bits++
+	}
+	return &prefixRouter{bits: bits}
+}
+
+func (r *prefixRouter) Route(key []byte) int {
+	var p uint64
+	for i := 0; i < 8; i++ {
+		p <<= 8
+		if i < len(key) {
+			p |= uint64(key[i])
+		}
+	}
+	return int(p >> (64 - r.bits)) // bits==0: p>>64 is 0 in Go, shard 0
+}
+
+func (r *prefixRouter) Ordered() bool { return true }
+func (r *prefixRouter) Name() string  { return "range" }

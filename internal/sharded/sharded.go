@@ -6,19 +6,23 @@
 // compose with each shard's own interleaved probe path (§4.4 generalized
 // across keys, then across cores).
 //
-// Point operations route by key hash to a single shard. MultiGet/MultiSet
-// scatter the batch into per-shard sub-batches run on a bounded worker
-// pool, with scratch buffers pooled and results written back into the
-// caller's slices in caller order. Ordered operations (Scan, Cursor) are
-// recovered with a k-way merge cursor over the per-shard cursors: the heap
-// top always tracks the global minimum remaining key, so iteration is
-// globally sorted even though each shard holds an arbitrary hash slice of
-// the keyspace.
+// Key→shard routing is pluggable (see Router): the default hash router
+// spreads any key distribution evenly, while the range (prefix) router
+// preserves key order across shards. MultiGet/MultiSet scatter the batch
+// into per-shard sub-batches run on a bounded worker pool, with scratch
+// buffers pooled and results written back into the caller's slices in
+// caller order. Ordered operations (Scan, Cursor) depend on the router:
+// under hash routing they are recovered with a k-way merge cursor over the
+// per-shard cursors (the heap top always tracks the global minimum
+// remaining key), while under range routing the shards themselves are
+// ordered, so a chain cursor walks them in sequence and a range that lives
+// in one shard never even opens the others. Either way the cursors are
+// recycled through a sync.Pool on Close, so a Scan-heavy workload does not
+// allocate a merge structure per call.
 package sharded
 
 import (
 	"fmt"
-	"hash/maphash"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,13 +30,13 @@ import (
 	"repro/internal/index"
 )
 
-// Index is a hash-partitioned wrapper over N inner indexes.
+// Index is a partitioned wrapper over N inner indexes.
 type Index struct {
 	shards  []index.Index
-	mask    uint64
-	seed    maphash.Seed
+	router  Router
 	workers int
 	scratch sync.Pool
+	cursors sync.Pool // pooled *mergeCursor or *chainCursor, per the router
 }
 
 // RoundShards returns the shard count New actually builds for a request:
@@ -49,13 +53,20 @@ func RoundShards(shards int) int {
 // New builds an engine with the given shard count (rounded up to a power of
 // two, minimum 1 — see RoundShards) whose shards come from factory;
 // capacity is the expected total key count, divided evenly across shards
-// for the per-shard hint.
+// for the per-shard hint. Keys route by hash; use NewWithRouter for a
+// different routing mode.
 func New(shards, capacity int, factory func(capacity int) index.Index) *Index {
+	return NewWithRouter(shards, capacity, factory, NewHashRouter)
+}
+
+// NewWithRouter is New with an explicit routing mode: mkRouter is invoked
+// with the rounded power-of-two shard count and its Router owns the
+// key→shard mapping for every operation.
+func NewWithRouter(shards, capacity int, factory func(capacity int) index.Index, mkRouter RouterMaker) *Index {
 	n := RoundShards(shards)
 	x := &Index{
 		shards: make([]index.Index, n),
-		mask:   uint64(n - 1),
-		seed:   maphash.MakeSeed(),
+		router: mkRouter(n),
 	}
 	per := (capacity + n - 1) / n
 	for i := range x.shards {
@@ -66,14 +77,24 @@ func New(shards, capacity int, factory func(capacity int) index.Index) *Index {
 		x.workers = n
 	}
 	x.scratch.New = func() interface{} { return newScratch(n) }
+	ordered := x.router.Ordered()
+	x.cursors.New = func() interface{} {
+		if ordered {
+			return &chainCursor{x: x, cursors: make([]index.Cursor, n), cur: n}
+		}
+		return &mergeCursor{x: x, cursors: make([]index.Cursor, n)}
+	}
 	return x
 }
 
 // Shards reports the (power-of-two) shard count.
 func (x *Index) Shards() int { return len(x.shards) }
 
+// Router reports the engine's routing mode.
+func (x *Index) Router() Router { return x.router }
+
 func (x *Index) shardFor(key []byte) index.Index {
-	return x.shards[maphash.Bytes(x.seed, key)&x.mask]
+	return x.shards[x.router.Route(key)]
 }
 
 // Set routes to the owning shard.
@@ -109,9 +130,10 @@ func (x *Index) MemoryOverheadBytes() int64 {
 	return total
 }
 
-// Name identifies the engine as an N-shard wrap of its inner engine.
+// Name identifies the engine as an N-shard wrap of its inner engine,
+// tagged with the routing mode.
 func (x *Index) Name() string {
-	return fmt.Sprintf("Sharded%d(%s)", len(x.shards), x.shards[0].Name())
+	return fmt.Sprintf("Sharded%d[%s](%s)", len(x.shards), x.router.Name(), x.shards[0].Name())
 }
 
 // ConcurrentSafe reports whether every shard is concurrent-safe: routing
@@ -158,7 +180,7 @@ func (x *Index) split(keys [][]byte) *scratch {
 	sc := x.scratch.Get().(*scratch)
 	sc.active = sc.active[:0]
 	for i, k := range keys {
-		s := int(maphash.Bytes(x.seed, k) & x.mask)
+		s := x.router.Route(k)
 		if len(sc.keys[s]) == 0 {
 			sc.keys[s] = sc.keys[s][:0]
 			sc.pos[s] = sc.pos[s][:0]
@@ -183,19 +205,20 @@ func (sc *scratch) release(x *Index) {
 	x.scratch.Put(sc)
 }
 
-// forEachActive runs fn(shard) for every active shard, on the calling
-// goroutine for small batches or a single active shard, otherwise on a
-// bounded worker pool pulling shard tasks from a shared counter.
-func (x *Index) forEachActive(sc *scratch, batch int, fn func(s int)) {
-	if len(sc.active) == 1 || batch < minParallelBatch || x.workers < 2 {
-		for _, s := range sc.active {
+// runShards runs fn(s) for every shard id in ids, on the calling
+// goroutine for small batches or a single shard, otherwise on a bounded
+// worker pool pulling shard tasks from a shared counter. It is the one
+// scheduler behind scatter-gather batches and the partitioned bulk load.
+func (x *Index) runShards(ids []int, batch int, fn func(s int)) {
+	if len(ids) == 1 || batch < minParallelBatch || x.workers < 2 {
+		for _, s := range ids {
 			fn(s)
 		}
 		return
 	}
 	w := x.workers
-	if w > len(sc.active) {
-		w = len(sc.active)
+	if w > len(ids) {
+		w = len(ids)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -205,10 +228,10 @@ func (x *Index) forEachActive(sc *scratch, batch int, fn func(s int)) {
 			defer wg.Done()
 			for {
 				t := int(next.Add(1)) - 1
-				if t >= len(sc.active) {
+				if t >= len(ids) {
 					return
 				}
-				fn(sc.active[t])
+				fn(ids[t])
 			}
 		}()
 	}
@@ -228,7 +251,7 @@ func (x *Index) MultiGet(keys [][]byte, vals []uint64, found []bool) {
 		return
 	}
 	sc := x.split(keys)
-	x.forEachActive(sc, len(keys), func(s int) {
+	x.runShards(sc.active, len(keys), func(s int) {
 		sub := sc.keys[s]
 		sv := grow(&sc.vals[s], len(sub))
 		sf := grow(&sc.found[s], len(sub))
@@ -252,7 +275,7 @@ func (x *Index) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
 		return x.shards[0].MultiSet(keys, vals, errs)
 	}
 	sc := x.split(keys)
-	x.forEachActive(sc, len(keys), func(s int) {
+	x.runShards(sc.active, len(keys), func(s int) {
 		sub := sc.keys[s]
 		sv := grow(&sc.vals[s], len(sub))
 		for j, p := range sc.pos[s] {
@@ -278,8 +301,13 @@ func (x *Index) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
 	return added
 }
 
-// Scan walks the k-way merge cursor, preserving Index.Scan semantics.
+// Scan walks a pooled cursor, preserving Index.Scan semantics. A single
+// shard is scanned natively; under a range router the cursor only opens
+// the shards the range actually reaches.
 func (x *Index) Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int {
+	if len(x.shards) == 1 {
+		return x.shards[0].Scan(start, n, fn)
+	}
 	c := x.NewCursor()
 	defer c.Close()
 	visited := 0
@@ -292,13 +320,27 @@ func (x *Index) Scan(start []byte, n int, fn func(key []byte, value uint64) bool
 	return visited
 }
 
-// NewCursor returns a k-way merge cursor over per-shard cursors.
+// NewCursor returns a cursor over the shards: the single shard's native
+// cursor, a sequential chain cursor when the router preserves key order
+// (opening each shard only when iteration reaches it), or a k-way merge
+// cursor under hash routing. Chain and merge cursors are recycled through
+// a pool on Close; their per-shard cursors stay open across recycles and
+// are repositioned by the next Seek.
 func (x *Index) NewCursor() index.Cursor {
-	cs := make([]index.Cursor, len(x.shards))
-	for i, s := range x.shards {
-		cs[i] = s.NewCursor()
+	if len(x.shards) == 1 {
+		return x.shards[0].NewCursor()
 	}
-	return &mergeCursor{cursors: cs}
+	switch c := x.cursors.Get().(type) {
+	case *chainCursor:
+		c.closed.Store(false)
+		c.cur = len(c.cursors)
+		return c
+	case *mergeCursor:
+		c.closed.Store(false)
+		c.heap = c.heap[:0]
+		return c
+	}
+	panic("sharded: unknown pooled cursor type")
 }
 
 // grow resizes a pooled scratch slice to n elements, reallocating only when

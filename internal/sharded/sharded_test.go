@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	cuckootrie "repro"
@@ -43,6 +44,21 @@ func TestConformanceSharded(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			indextest.Run(t, func(c int) index.Index {
 				return sharded.New(4, c, mk)
+			}, indextest.Options{})
+		})
+	}
+}
+
+// TestConformanceShardedRange runs the same suite with the range (prefix)
+// router: ordered iteration comes from the chain cursor instead of the
+// k-way merge, and the partition is skewed for any non-uniform key
+// distribution — correctness must not depend on balance.
+func TestConformanceShardedRange(t *testing.T) {
+	for name, mk := range factories() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			indextest.Run(t, func(c int) index.Index {
+				return sharded.NewWithRouter(4, c, mk, sharded.NewPrefixRouter)
 			}, indextest.Options{})
 		})
 	}
@@ -233,5 +249,306 @@ func TestNonConcurrentInnerNotMarked(t *testing.T) {
 	ix := sharded.New(4, 64, factories()["STX"])
 	if index.IsConcurrent(ix) {
 		t.Fatal("sharded STX must not report concurrent-safe")
+	}
+}
+
+// cursorSpy wraps an inner index and counts NewCursor calls, so tests can
+// observe exactly which shards an ordered operation touched.
+type cursorSpy struct {
+	index.Index
+	opens *int32
+}
+
+func (s cursorSpy) NewCursor() index.Cursor {
+	atomic.AddInt32(s.opens, 1)
+	return s.Index.NewCursor()
+}
+
+// spyFactory builds a sharded index whose shards count their cursor opens
+// (opens[i] = NewCursor calls on shard i, in factory-call order).
+func spyFactory(t *testing.T, shards int, mk sharded.RouterMaker) (*sharded.Index, []int32) {
+	t.Helper()
+	opens := make([]int32, shards)
+	next := 0
+	inner := factories()["SkipList"]
+	ix := sharded.NewWithRouter(shards, 1<<10, func(c int) index.Index {
+		s := cursorSpy{inner(c), &opens[next]}
+		next++
+		return s
+	}, mk)
+	if ix.Shards() != shards {
+		t.Fatalf("built %d shards, want %d", ix.Shards(), shards)
+	}
+	return ix, opens
+}
+
+// TestRangeScanSingleShardBypass is the acceptance test for the range
+// router's scan fast path: a Scan whose range is served entirely by one
+// shard must open ONLY that shard's cursor — no k-way merge over all
+// shards — while the hash router (key order scattered across shards) must
+// still open every shard's cursor for the same scan.
+func TestRangeScanSingleShardBypass(t *testing.T) {
+	// 4 range shards partition on the top 2 bits of the first byte:
+	// [0x00,0x40) → 0, [0x40,0x80) → 1, [0x80,0xc0) → 2, [0xc0,∞) → 3.
+	ix, opens := spyFactory(t, 4, sharded.NewPrefixRouter)
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 4; j++ {
+			k := []byte{byte(b), byte(j)}
+			if _, err := ix.Set(k, uint64(b*4+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A 10-key scan starting at 0x50...: every visited key has first byte
+	// in [0x50, 0x53], all inside shard 1.
+	var got [][]byte
+	n := ix.Scan([]byte{0x50}, 10, func(k []byte, v uint64) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("scan visited %d keys, want 10", n)
+	}
+	for i, k := range got {
+		want := []byte{byte(0x50 + i/4), byte(i % 4)}
+		if !bytes.Equal(k, want) {
+			t.Fatalf("scan[%d] = %x, want %x", i, k, want)
+		}
+	}
+	for s, o := range opens {
+		want := int32(0)
+		if s == 1 {
+			want = 1
+		}
+		if o != want {
+			t.Fatalf("shard %d: %d cursor opens, want %d (opens = %v)", s, o, want, opens)
+		}
+	}
+
+	// A scan crossing the shard-1/shard-2 boundary opens exactly the two
+	// shards it reaches, in order — still no merge over all four.
+	var crossed []byte
+	ix.Scan([]byte{0x7f, 0x03}, 2, func(k []byte, v uint64) bool {
+		crossed = append(crossed, k[0])
+		return true
+	})
+	if !bytes.Equal(crossed, []byte{0x7f, 0x80}) {
+		t.Fatalf("boundary scan first bytes = %x, want 7f80", crossed)
+	}
+	if opens[0] != 0 || opens[3] != 0 {
+		t.Fatalf("boundary scan touched uninvolved shards: opens = %v", opens)
+	}
+
+	// Contrast: the hash router scatters key order, so the same single-
+	// shard-range scan must consult every shard.
+	hx, hopens := spyFactory(t, 4, sharded.NewHashRouter)
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 4; j++ {
+			if _, err := hx.Set([]byte{byte(b), byte(j)}, uint64(b*4+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hx.Scan([]byte{0x50}, 10, func(k []byte, v uint64) bool { return true })
+	for s, o := range hopens {
+		if o != 1 {
+			t.Fatalf("hash router shard %d: %d cursor opens, want 1", s, o)
+		}
+	}
+}
+
+// TestPooledCursorReuse: Close recycles cursors (and their shard cursors)
+// through the pool, so repeated scans stop calling NewCursor on the shards
+// after warm-up, and a recycled cursor re-Seeks correctly.
+func TestPooledCursorReuse(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   sharded.RouterMaker
+	}{{"hash", sharded.NewHashRouter}, {"range", sharded.NewPrefixRouter}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, opens := spyFactory(t, 4, tc.mk)
+			for b := 0; b < 256; b++ {
+				if _, err := ix.Set([]byte{byte(b)}, uint64(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			total := func() (n int32) {
+				for i := range opens {
+					n += atomic.LoadInt32(&opens[i])
+				}
+				return
+			}
+			full := func() int {
+				return ix.Scan(nil, 1<<30, func([]byte, uint64) bool { return true })
+			}
+			if got := full(); got != 256 {
+				t.Fatalf("first scan visited %d keys, want 256", got)
+			}
+			after := total()
+			for i := 0; i < 10; i++ {
+				if got := full(); got != 256 {
+					t.Fatalf("scan %d visited %d keys, want 256", i, got)
+				}
+			}
+			// Under -race, sync.Pool drops Puts at random by design, so the
+			// zero-new-cursors property only holds without the detector.
+			if got := total(); got != after && !raceDetectorEnabled {
+				t.Fatalf("repeated scans opened %d new shard cursors, want 0", got-after)
+			}
+			// A redundant Close (before the pool re-hands the cursor out) must
+			// not corrupt the pool with a double Put; Close after reacquisition
+			// is a use-after-Close contract violation like any other.
+			c := ix.NewCursor()
+			c.Close()
+			c.Close()
+			a, b := ix.NewCursor(), ix.NewCursor()
+			if a == b {
+				t.Fatal("double Close handed the same cursor out twice")
+			}
+			a.Close()
+			b.Close()
+		})
+	}
+}
+
+// TestBulkLoadPartitioned: the sharded BulkLoad must agree with the
+// incremental path on a stream with duplicates, under both routers, and
+// report per-shard added counts summed correctly.
+func TestBulkLoadPartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 20000
+	keys := make([][]byte, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		if i > 0 && i%9 == 0 {
+			keys[i] = keys[rng.Intn(i)] // duplicate: last value must win
+		} else {
+			k := make([]byte, 1+rng.Intn(12))
+			rng.Read(k)
+			keys[i] = k
+		}
+		vals[i] = uint64(i)
+	}
+	for _, tc := range []struct {
+		name string
+		mk   sharded.RouterMaker
+	}{{"hash", sharded.NewHashRouter}, {"range", sharded.NewPrefixRouter}} {
+		t.Run(tc.name, func(t *testing.T) {
+			bulk := sharded.NewWithRouter(8, n, factories()["CuckooTrie"], tc.mk)
+			added, err := bulk.BulkLoad(keys, vals)
+			if err != nil {
+				t.Fatalf("BulkLoad: %v", err)
+			}
+			incr := sharded.NewWithRouter(8, n, factories()["CuckooTrie"], tc.mk)
+			wantAdded := 0
+			for i, k := range keys {
+				a, err := incr.Set(k, vals[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a {
+					wantAdded++
+				}
+			}
+			if added != wantAdded {
+				t.Fatalf("BulkLoad added %d, incremental %d", added, wantAdded)
+			}
+			if bulk.Len() != incr.Len() {
+				t.Fatalf("Len: bulk %d, incremental %d", bulk.Len(), incr.Len())
+			}
+			got := make([]uint64, n)
+			found := make([]bool, n)
+			bulk.MultiGet(keys, got, found)
+			want := make([]uint64, n)
+			wfound := make([]bool, n)
+			incr.MultiGet(keys, want, wfound)
+			for i := range keys {
+				if found[i] != wfound[i] || got[i] != want[i] {
+					t.Fatalf("key %x: bulk %d,%v incremental %d,%v",
+						keys[i], got[i], found[i], want[i], wfound[i])
+				}
+			}
+		})
+	}
+}
+
+// failAfterIndex wraps an inner index and fails Set/MultiSet for one
+// specific key, so error propagation through the partitioned load path can
+// be observed.
+type failAfterIndex struct {
+	index.Index
+	bad string
+}
+
+var errBadKey = fmt.Errorf("injected bulk-load failure")
+
+func (f failAfterIndex) Set(k []byte, v uint64) (bool, error) {
+	if string(k) == f.bad {
+		return false, errBadKey
+	}
+	return f.Index.Set(k, v)
+}
+
+func (f failAfterIndex) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(f, keys, vals, errs)
+}
+
+// TestBulkLoadPropagatesError: a shard failing mid-load surfaces the error
+// while the other shards' keys still land (MultiSet keeps going).
+func TestBulkLoadPropagatesError(t *testing.T) {
+	inner := factories()["SkipList"]
+	ix := sharded.NewWithRouter(4, 1<<10, func(c int) index.Index {
+		return failAfterIndex{inner(c), "\x10bad"}
+	}, sharded.NewPrefixRouter)
+	keys := [][]byte{{0x10, 'a'}, []byte("\x10bad"), {0x90, 'b'}, {0xd0, 'c'}}
+	vals := []uint64{1, 2, 3, 4}
+	added, err := ix.BulkLoad(keys, vals)
+	if err == nil {
+		t.Fatal("BulkLoad swallowed the injected shard error")
+	}
+	if added != 3 {
+		t.Fatalf("BulkLoad added %d, want 3 (the non-failing keys)", added)
+	}
+	for i, k := range keys {
+		_, ok := ix.Get(k)
+		if want := i != 1; ok != want {
+			t.Fatalf("Get(%x) = %v after failed load, want %v", k, ok, want)
+		}
+	}
+}
+
+// BenchmarkShardedScan measures the pooled-cursor scan path: after
+// warm-up, Scan must not allocate a merge structure or fresh shard cursors
+// per call (compare ReportAllocs between routers and against the
+// pre-pooling path, which allocated the cursor slice + per-shard cursors
+// on every Scan).
+func BenchmarkShardedScan(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   sharded.RouterMaker
+	}{{"hash", sharded.NewHashRouter}, {"range", sharded.NewPrefixRouter}} {
+		b.Run(tc.name, func(b *testing.B) {
+			ix := sharded.NewWithRouter(8, 1<<16, factories()["CuckooTrie"], tc.mk)
+			rng := rand.New(rand.NewSource(7))
+			keys := make([][]byte, 1<<14)
+			for i := range keys {
+				k := make([]byte, 8)
+				rng.Read(k)
+				keys[i] = k
+				if _, err := ix.Set(k, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var sink uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.Scan(keys[i%len(keys)], 100, func(k []byte, v uint64) bool {
+					sink += v
+					return true
+				})
+			}
+			_ = sink
+		})
 	}
 }

@@ -1,0 +1,16 @@
+package ycsb
+
+import "repro/internal/index"
+
+// LoadPhase runs the YCSB LOAD phase: insert keys[i] → i through the
+// index's bulk-load path (index.BulkLoad) — the partitioned concurrent
+// ingest for sharded engines, chunked MultiSet for everything else. It
+// returns the number of keys newly added (== len(keys) for a duplicate-
+// free dataset) and the first insert error.
+func LoadPhase(ix index.Index, keys [][]byte) (int, error) {
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	return index.BulkLoad(ix, keys, vals)
+}

@@ -182,6 +182,25 @@ func TestLatestTracksSynthesizedInserts(t *testing.T) {
 	}
 }
 
+// TestLoadPhase: the LOAD phase goes through the bulk-load path and leaves
+// the index exactly as incremental Sets would — keys[i] → i, all added.
+func TestLoadPhase(t *testing.T) {
+	keys := dataset.Generate(dataset.Rand8, 2000, 5)
+	ix := skiplist.New(3)
+	added, err := LoadPhase(ix, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(keys) || ix.Len() != len(keys) {
+		t.Fatalf("LoadPhase added %d, Len %d, want %d", added, ix.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(keys[%d]) = %d,%v want %d", i, v, ok, i)
+		}
+	}
+}
+
 func TestZipfianSkew(t *testing.T) {
 	keys := dataset.Generate(dataset.Rand8, 1000, 3)
 	g := NewGenerator(C, Zipfian, keys, 1000, 4)
