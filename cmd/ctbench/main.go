@@ -20,6 +20,7 @@ func main() {
 	threads := flag.Int("threads", 0, "threads for multithreaded figures (default: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "max shard count for the sharded figure (default: GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "dataset/workload seed")
+	jsonOut := flag.Bool("json", false, "emit the figure as one JSON report (banner fields + rows) instead of text; supported: sharded, load")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ctbench [flags] <experiment>\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget sharded load all\n")
@@ -31,6 +32,22 @@ func main() {
 		os.Exit(2)
 	}
 	o := bench.Options{Keys: *keys, Ops: *ops, Threads: *threads, Shards: *shards, Seed: *seed}
+	if *jsonOut {
+		jsonRunners := map[string]func() error{
+			"sharded": func() error { return bench.FigShardedJSON(os.Stdout, o) },
+			"load":    func() error { return bench.FigLoadJSON(os.Stdout, o) },
+		}
+		run, ok := jsonRunners[flag.Arg(0)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ctbench: -json supports only: sharded, load (got %q)\n", flag.Arg(0))
+			os.Exit(2)
+		}
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "ctbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	runners := map[string]func(){
 		"table1":   func() { bench.Table1(os.Stdout, o) },
 		"fig2":     func() { bench.Fig2(os.Stdout, o) },

@@ -30,8 +30,8 @@ func main() {
 	engine := flag.String("engine", "CuckooTrie", "sorted-set engine: CuckooTrie|ARTOLC|HOT|Wormhole|STX|SkipList")
 	capacity := flag.Int("capacity", 1<<20, "expected keys per sorted set")
 	shards := flag.Int("shards", 1, "shards per sorted set (>1 enables scatter-gather across cores)")
-	router := flag.String("router", "hash", "key→shard routing for sharded sets: hash|range (range keeps scans single-shard when possible)")
-	preload := flag.Int("preload", 0, "bulk-load N random 8-byte keys into set 'bench' before serving (partitioned load for sharded sets)")
+	router := flag.String("router", "hash", "key→shard routing for sharded sets: hash|range|sampled (range/sampled keep scans single-shard when possible; sampled derives balanced shard boundaries from the preload stream)")
+	preload := flag.Int("preload", 0, "bulk-load N random 8-byte keys into set 'bench' before serving (partitioned load for sharded sets; trains the sampled router's boundaries)")
 	flag.Parse()
 
 	factories := map[string]miniredis.EngineFactory{
@@ -52,7 +52,7 @@ func main() {
 	if *shards > 1 {
 		mk, ok := sharded.RouterByName(*router)
 		if !ok {
-			log.Fatalf("unknown router %q (want hash or range)", *router)
+			log.Fatalf("unknown router %q (want hash, range or sampled)", *router)
 		}
 		f = miniredis.ShardedFactoryWithRouter(f, *shards, mk)
 		name = fmt.Sprintf("%s x%d shards, %s-routed", name, sharded.RoundShards(*shards), *router)

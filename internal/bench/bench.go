@@ -92,15 +92,29 @@ func Engines() []Engine {
 // name reflects the shard count actually built (power-of-two rounded), so
 // figure rows are never attributed to a count that was not measured.
 func ShardedEngine(e Engine, shards int) Engine {
+	se, _ := ShardedEngineRouted(e, shards, "hash")
+	// The historical registry name carries no router tag for hash.
+	se.Name = fmt.Sprintf("%s-x%d", e.Name, sharded.RoundShards(shards))
+	return se
+}
+
+// ShardedEngineRouted is ShardedEngine with an explicit routing mode from
+// sharded.RouterByName ("hash", "range", "sampled"); the engine is named
+// "<base>-<router>-xN". It reports false for an unknown router.
+func ShardedEngineRouted(e Engine, shards int, router string) (Engine, bool) {
+	mk, ok := sharded.RouterByName(router)
+	if !ok {
+		return Engine{}, false
+	}
 	inner := e.New
 	shards = sharded.RoundShards(shards)
 	return Engine{
-		Name:       fmt.Sprintf("%s-x%d", e.Name, shards),
+		Name:       fmt.Sprintf("%s-%s-x%d", e.Name, router, shards),
 		Concurrent: e.Concurrent,
 		Fixed8:     e.Fixed8,
 		Scans:      e.Scans,
-		New:        func(c int) index.Index { return sharded.New(shards, c, inner) },
-	}
+		New:        func(c int) index.Index { return sharded.NewWithRouter(shards, c, inner, mk) },
+	}, true
 }
 
 // ShardedEngines returns N-shard variants of the concurrent engines — the
@@ -116,12 +130,25 @@ func ShardedEngines(shards int) []Engine {
 }
 
 // engineByName finds an engine. A "-xN" suffix (e.g. "CuckooTrie-x4")
-// resolves the base engine and wraps it in an N-shard variant.
+// resolves the base engine and wraps it in an N-shard hash-routed variant;
+// a router-qualified suffix (e.g. "CuckooTrie-sampled-x4") selects the
+// routing mode.
 func engineByName(name string) (Engine, bool) {
 	if i := strings.LastIndex(name, "-x"); i > 0 {
 		if shards, err := strconv.Atoi(name[i+2:]); err == nil && shards > 0 {
-			if base, ok := engineByName(name[:i]); ok {
-				return ShardedEngine(base, shards), true
+			base := name[:i]
+			if j := strings.LastIndex(base, "-"); j > 0 {
+				if _, isRouter := sharded.RouterByName(base[j+1:]); isRouter {
+					if be, ok := engineByName(base[:j]); ok {
+						if se, ok := ShardedEngineRouted(be, shards, base[j+1:]); ok {
+							return se, true
+						}
+					}
+					return Engine{}, false
+				}
+			}
+			if be, ok := engineByName(base); ok {
+				return ShardedEngine(be, shards), true
 			}
 		}
 	}

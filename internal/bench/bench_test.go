@@ -2,11 +2,15 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/sharded"
 )
 
 // tiny returns options small enough for CI smoke runs.
@@ -28,8 +32,10 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 		{"fig12", func(o Options, b *bytes.Buffer) { Fig12(b, o) }, []string{"MlpIndex", "bytes/key"}},
 		{"table3", func(o Options, b *bytes.Buffer) { Table3(b, o) }, []string{"DRAM", "UPI"}},
 		{"ablation", func(o Options, b *bytes.Buffer) { Ablation(b, o) }, []string{"nodes/key", "D=5"}},
-		{"sharded", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigSharded(b, o) }, []string{"CuckooTrie", "x2", "x4", "shard count", "router=hash", "GOMAXPROCS="}},
-		{"load", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigLoad(b, o) }, []string{"CuckooTrie", "hash-x2", "range-x4", "router", "GOMAXPROCS="}},
+		{"sharded", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigSharded(b, o) },
+			[]string{"CuckooTrie", "x2", "x4", "shard count", "router=hash", "GOMAXPROCS=", "sampled-x4", "az", "reddit", "balance"}},
+		{"load", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigLoad(b, o) },
+			[]string{"CuckooTrie", "hash-x2", "range-x4", "sampled-x2", "router", "GOMAXPROCS=", "az", "reddit", "balance"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -160,6 +166,88 @@ func TestShardedEngineRegistry(t *testing.T) {
 		if !found[i] || got[i] != vals[i] {
 			t.Fatalf("sharded MultiGet[%d] = %d,%v", i, got[i], found[i])
 		}
+	}
+}
+
+// TestRoutedEngineRegistry: router-qualified "-<router>-xN" names resolve
+// to sharded variants with the requested routing mode; unknown routers
+// fail rather than silently falling back to hash.
+func TestRoutedEngineRegistry(t *testing.T) {
+	for _, router := range []string{"hash", "range", "sampled"} {
+		name := "CuckooTrie-" + router + "-x4"
+		e, ok := engineByName(name)
+		if !ok {
+			t.Fatalf("%s not resolved", name)
+		}
+		if e.Name != name {
+			t.Fatalf("resolved name = %q, want %q", e.Name, name)
+		}
+		sx, ok := e.New(64).(*sharded.Index)
+		if !ok {
+			t.Fatalf("%s did not build a sharded index", name)
+		}
+		if got := sx.Router().Name(); got != router {
+			t.Fatalf("%s built router %q", name, got)
+		}
+	}
+	if _, ok := engineByName("CuckooTrie-mystery-x4"); ok {
+		t.Fatal("unknown router resolved")
+	}
+	// Unqualified "-xN" stays hash-routed (back-compat with recorded runs).
+	e, _ := engineByName("CuckooTrie-x4")
+	if sx := e.New(64).(*sharded.Index); sx.Router().Name() != "hash" {
+		t.Fatalf("CuckooTrie-x4 router = %q, want hash", sx.Router().Name())
+	}
+}
+
+// TestJSONReports: the -json mode of the load and sharded figures emits
+// one parseable report carrying the banner fields (GOMAXPROCS, shard cap,
+// keys, seed) and per-cell rows, including sampled-router rows with a
+// balance figure — the contract that makes cross-machine runs diffable.
+func TestJSONReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not short")
+	}
+	for name, emit := range map[string]func(io.Writer, Options) error{
+		"load":    FigLoadJSON,
+		"sharded": FigShardedJSON,
+	} {
+		t.Run(name, func(t *testing.T) {
+			o := tiny()
+			o.Keys, o.Ops, o.Shards = 2000, 2000, 2
+			var buf bytes.Buffer
+			if err := emit(&buf, o); err != nil {
+				t.Fatal(err)
+			}
+			var rep Report
+			if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+				t.Fatalf("output is not one JSON document: %v\n%s", err, buf.String())
+			}
+			if rep.Figure != name {
+				t.Fatalf("figure = %q, want %q", rep.Figure, name)
+			}
+			if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) || rep.Keys != 2000 || rep.Seed != 1 || rep.MaxShards != 2 {
+				t.Fatalf("banner fields = %+v", rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			sampled := 0
+			for _, r := range rep.Rows {
+				if r.Mops <= 0 {
+					t.Fatalf("row %+v has no throughput", r)
+				}
+				if r.Router == "sampled" {
+					sampled++
+					if r.Shards != 2 || r.Balance <= 0 {
+						t.Fatalf("sampled row %+v: want shards=2 and a balance figure", r)
+					}
+				}
+			}
+			if sampled == 0 {
+				t.Fatal("no sampled-router rows in the report")
+			}
+		})
 	}
 }
 

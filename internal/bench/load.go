@@ -7,65 +7,197 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/index"
-	"repro/internal/sharded"
 )
 
-// FigLoad measures the partitioned bulk-load path: LOAD-phase throughput
-// (Mops/s) by shard count and router. Column x1 is the unsharded engine
-// loading through the chunked-MultiSet fallback; the hash-xN / range-xN
-// columns partition the insert stream up front and load the per-shard
-// sub-streams concurrently on the worker pool — the ingest-side analogue
-// of the scatter-gather MultiGet figure. On a single-core box the sharded
-// columns only bound the partitioning overhead; the banner's GOMAXPROCS
-// says which regime produced the numbers.
-func FigLoad(w io.Writer, o Options) {
-	o.Fill()
-	header(w, "Load: partitioned bulk-load throughput by shard count and router (Mops/s)",
-		"ingest-side cross-core MLP; range routing trades first-byte balance for scan locality")
-	shardCounts := shardLadder(o.Shards)
+// routedModes are the routing modes the shard-axis figures sweep, in
+// presentation order: hash (balanced, order-scattered), range (ordered,
+// first-byte balanced), sampled (ordered AND balanced via sample-derived
+// boundaries).
+var routedModes = []string{"hash", "range", "sampled"}
 
-	type column struct {
-		label  string
-		shards int
-		mk     sharded.RouterMaker
-	}
-	cols := []column{{"x1", 1, nil}}
-	for _, s := range shardCounts {
-		if s == 1 {
-			continue
-		}
-		cols = append(cols, column{fmt.Sprintf("hash-x%d", s), s, sharded.NewHashRouter})
-		cols = append(cols, column{fmt.Sprintf("range-x%d", s), s, sharded.NewPrefixRouter})
-	}
+// skewedDatasets is the skewed-dataset axis of the router figures: az keys
+// share a long "B..." prefix and reddit usernames cluster in the lowercase
+// range, so first-byte (prefix) range routing piles either onto one hot
+// shard — exactly the regime the sampled router exists for.
+var skewedDatasets = []dataset.Name{dataset.AZ, dataset.Reddit}
 
-	ks := datasetKeys(dataset.Rand8, o.Keys, o.Seed)
+// rowIndex keys a Report's rows by (engine, dataset, router, shards) for
+// table rendering.
+func rowIndex(rep Report) map[string]Row {
+	rows := map[string]Row{}
+	for _, r := range rep.Rows {
+		rows[rowKey(r.Engine, r.Dataset, r.Router, r.Shards)] = r
+	}
+	return rows
+}
+
+func rowKey(engine, ds, router string, shards int) string {
+	return fmt.Sprintf("%s|%s|%s|%d", engine, ds, router, shards)
+}
+
+// valsFor numbers a key stream 0..n-1, the value convention of every load.
+func valsFor(ks [][]byte) []uint64 {
 	vals := make([]uint64, len(ks))
 	for i := range vals {
 		vals[i] = uint64(i)
 	}
-	fmt.Fprintf(w, "\n%-14s", "")
-	for _, c := range cols {
-		fmt.Fprintf(w, "%10s", c.label)
+	return vals
+}
+
+// loadReport measures the partitioned bulk-load path into a Report: on
+// rand-8, LOAD throughput across the full shard ladder × router; on the
+// skewed datasets, the router trade-off at the max shard count with the
+// loaded index's per-shard balance. One measurement path feeds both the
+// text table and -json.
+func loadReport(o Options) Report {
+	o.Fill()
+	rep := newReport("load", o)
+	cell := func(e Engine, router string, shards int, ds dataset.Name, ks [][]byte, vals []uint64) Row {
+		var ix index.Index
+		if shards == 1 {
+			ix = e.New(len(ks))
+		} else {
+			se, ok := ShardedEngineRouted(e, shards, router)
+			if !ok {
+				panic("bench: unknown router " + router)
+			}
+			ix = se.New(len(ks))
+		}
+		start := time.Now()
+		if _, err := index.BulkLoad(ix, ks, vals); err != nil {
+			panic(fmt.Sprintf("%s %s-x%d load: %v", e.Name, router, shards, err))
+		}
+		return Row{
+			Engine:  e.Name,
+			Dataset: string(ds),
+			Router:  router,
+			Shards:  shards,
+			Mops:    mops(len(ks), time.Since(start)),
+			Balance: balanceOf(ix),
+		}
+	}
+
+	ks := datasetKeys(dataset.Rand8, o.Keys, o.Seed)
+	vals := valsFor(ks)
+	for _, e := range Engines() {
+		if !e.Concurrent {
+			continue
+		}
+		rep.Rows = append(rep.Rows, cell(e, "", 1, dataset.Rand8, ks, vals))
+		for _, s := range shardLadder(o.Shards) {
+			if s == 1 {
+				continue
+			}
+			for _, r := range routedModes {
+				rep.Rows = append(rep.Rows, cell(e, r, s, dataset.Rand8, ks, vals))
+			}
+		}
+	}
+	if rep.MaxShards > 1 {
+		for _, ds := range skewedDatasets {
+			ks := datasetKeys(ds, o.Keys, o.Seed)
+			vals := valsFor(ks)
+			for _, e := range Engines() {
+				if !e.Concurrent {
+					continue
+				}
+				rep.Rows = append(rep.Rows, cell(e, "", 1, ds, ks, vals))
+				for _, r := range routedModes {
+					rep.Rows = append(rep.Rows, cell(e, r, rep.MaxShards, ds, ks, vals))
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// FigLoad renders the partitioned bulk-load figure as text: LOAD-phase
+// throughput (Mops/s) by shard count and router on rand-8, then the
+// hash/range/sampled trade-off on the skewed datasets with a per-shard
+// balance column (max/mean key count; 1.00 = even, shard count = one hot
+// shard). Column x1 is the unsharded engine loading through the
+// chunked-MultiSet fallback. On a single-core box the sharded columns only
+// bound the partitioning overhead; the banner's GOMAXPROCS says which
+// regime produced the numbers.
+func FigLoad(w io.Writer, o Options) {
+	o.Fill()
+	rep := loadReport(o)
+	header(w, "Load: partitioned bulk-load throughput by dataset, shard count and router (Mops/s)",
+		"ingest-side cross-core MLP; sampled boundaries keep range routing balanced on skew")
+	rows := rowIndex(rep)
+
+	// rand-8: shard ladder × router.
+	fmt.Fprintf(w, "\nrand-8 (shard ladder):\n%-14s%12s", "", "x1")
+	var ladder []int
+	for _, s := range shardLadder(o.Shards) {
+		if s > 1 {
+			ladder = append(ladder, s)
+		}
+	}
+	for _, s := range ladder {
+		for _, r := range routedModes {
+			fmt.Fprintf(w, "%12s", fmt.Sprintf("%s-x%d", r, s))
+		}
 	}
 	fmt.Fprintln(w)
 	for _, e := range Engines() {
 		if !e.Concurrent {
 			continue
 		}
-		fmt.Fprintf(w, "%-14s", e.Name)
-		for _, c := range cols {
-			var ix index.Index
-			if c.shards == 1 {
-				ix = e.New(len(ks))
-			} else {
-				ix = sharded.NewWithRouter(c.shards, len(ks), e.New, c.mk)
+		fmt.Fprintf(w, "%-14s%12.3f", e.Name, rows[rowKey(e.Name, "rand-8", "", 1)].Mops)
+		for _, s := range ladder {
+			for _, r := range routedModes {
+				fmt.Fprintf(w, "%12.3f", rows[rowKey(e.Name, "rand-8", r, s)].Mops)
 			}
-			start := time.Now()
-			if _, err := index.BulkLoad(ix, ks, vals); err != nil {
-				panic(fmt.Sprintf("%s %s load: %v", e.Name, c.label, err))
-			}
-			fmt.Fprintf(w, "%10.3f", mops(len(ks), time.Since(start)))
 		}
 		fmt.Fprintln(w)
+	}
+
+	renderSkewedTables(w, rep, rows)
+}
+
+// FigLoadJSON is FigLoad's -json mode: the same measurements as one JSON
+// report (banner fields + rows) for machine diffing across runs.
+func FigLoadJSON(w io.Writer, o Options) error {
+	return loadReport(o).WriteJSON(w)
+}
+
+// renderSkewedTables renders the skewed-dataset router trade-off tables of
+// a load/sharded Report: per dataset, engines × {x1, hash, range, sampled}
+// at the max shard count, with a per-router balance footer (max/mean shard
+// key count, from the first engine's cells — balance is a router×dataset
+// property; engines only add hash-seed noise).
+func renderSkewedTables(w io.Writer, rep Report, rows map[string]Row) {
+	if rep.MaxShards <= 1 {
+		return
+	}
+	first := ""
+	for _, e := range Engines() {
+		if e.Concurrent {
+			first = e.Name
+			break
+		}
+	}
+	for _, ds := range skewedDatasets {
+		fmt.Fprintf(w, "\n%s (skewed keys, x%d):\n%-14s%12s", ds, rep.MaxShards, "", "x1")
+		for _, r := range routedModes {
+			fmt.Fprintf(w, "%12s", fmt.Sprintf("%s-x%d", r, rep.MaxShards))
+		}
+		fmt.Fprintln(w)
+		for _, e := range Engines() {
+			if !e.Concurrent {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s%12.3f", e.Name, rows[rowKey(e.Name, string(ds), "", 1)].Mops)
+			for _, r := range routedModes {
+				fmt.Fprintf(w, "%12.3f", rows[rowKey(e.Name, string(ds), r, rep.MaxShards)].Mops)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-14s%12s", "balance", "-")
+		for _, r := range routedModes {
+			fmt.Fprintf(w, "%12.2f", rows[rowKey(first, string(ds), r, rep.MaxShards)].Balance)
+		}
+		fmt.Fprintf(w, "   (max/mean shard keys; 1.00 even, %d.00 one hot shard)\n", rep.MaxShards)
 	}
 }

@@ -34,6 +34,16 @@ type hasher struct {
 	mask    uint64 // S-1
 	mult    uint64 // S·t/R = S/4
 	kickTab [tagCount]uint64
+	// symTab is a seeded permutation of the symbol alphabet, applied before
+	// the peelable mix. Without it the hash depends only on the geometry
+	// and the raw symbols, so a structured key set (fixed-format decimal
+	// strings, say) whose node names collide DIFFERENTIALLY — pairwise XOR
+	// patterns the linear step preserves — collides at every table size,
+	// and a resize can never clear the over-full color class. A per-table
+	// permutation keeps peelability (it is a bijection composed with the
+	// peelable step) while giving every resize attempt an independent hash
+	// function.
+	symTab [hashR]byte
 }
 
 func newHasher(buckets uint64, seed int64) hasher {
@@ -54,12 +64,15 @@ func newHasher(buckets uint64, seed int64) hasher {
 			}
 		}
 	}
+	for i, p := range rng.Perm(hashR) {
+		h.symTab[i] = byte(p)
+	}
 	return h
 }
 
 // step extends hash h with one symbol. h must be in [0, S·t).
 func (hs *hasher) step(h uint64, sym byte) uint64 {
-	v := h ^ uint64(sym)
+	v := h ^ uint64(hs.symTab[sym])
 	return v/hashR + hs.mult*(v%hashR)
 }
 

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestStructuredKeySliceResize is the regression test for the unseeded
+// symbol hash: az keys are fixed-format decimal strings, and a contiguous
+// lexicographic slice of them (exactly what a sampled-boundary range shard
+// receives) carries differential symbol structure that the linear hash
+// step preserved at EVERY table size — so once a color class overflowed,
+// no amount of resize doubling could clear it and AutoResize inserts
+// failed with ErrTableFull. With the per-table seeded symbol permutation,
+// each resize attempt gets an independent hash function and the load must
+// succeed at a tight capacity hint.
+func TestStructuredKeySliceResize(t *testing.T) {
+	ks := dataset.Generate(dataset.AZ, 5000, 1)
+	sorted := make([][]byte, len(ks))
+	copy(sorted, ks)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+	lo, hi := sorted[len(sorted)/2], sorted[3*len(sorted)/4]
+
+	// The third quartile of the keyspace, in the original shuffled stream
+	// order — the exact sub-stream a 4-shard sampled router hands shard 2.
+	var part [][]byte
+	for _, k := range ks {
+		if bytes.Compare(k, lo) >= 0 && bytes.Compare(k, hi) < 0 {
+			part = append(part, k)
+		}
+	}
+	if len(part) < 1000 {
+		t.Fatalf("quartile slice has only %d keys", len(part))
+	}
+	tr := New(Config{CapacityHint: len(part), AutoResize: true})
+	for i, k := range part {
+		if _, err := tr.Set(k, uint64(i)); err != nil {
+			t.Fatalf("Set(%q) after %d structured keys: %v", k, i, err)
+		}
+	}
+	for i, k := range part {
+		if v, ok := tr.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, v, ok, i)
+		}
+	}
+}

@@ -15,7 +15,10 @@ type Config struct {
 	// LoadFactor is the target table load factor used for sizing; the paper
 	// uses 0.85 (§6.1).
 	LoadFactor float64
-	// Seed seeds the kick table; fixed default for reproducibility.
+	// Seed seeds the kick table and the hash's symbol permutation; fixed
+	// default for reproducibility. Each resize derives a fresh seed from
+	// the new geometry, so repeated rebuild attempts use independent hash
+	// functions (see hasher.symTab).
 	Seed int64
 	// AutoResize doubles the table when an insertion cannot find room. The
 	// paper's implementation omits automatic resizing (§6.1); ours supports

@@ -1,16 +1,38 @@
 package index
 
+import "fmt"
+
 // BulkLoader is implemented by indexes with a native bulk-ingest path —
 // e.g. the sharded engine, which partitions the whole insert stream into
 // per-shard sub-streams up front and loads them concurrently. Semantics
 // match a sequence of Set calls in stream order: a key appearing twice
 // ends up with its later value, and added counts only first appearances.
 type BulkLoader interface {
-	// BulkLoad inserts keys[i] → vals[i] for every i (vals must have at
-	// least len(keys) elements), returning the number of keys newly added
-	// and the first error encountered. Keys after a failed one are still
-	// attempted, matching MultiSet.
+	// BulkLoad inserts keys[i] → vals[i] for every i, returning the number
+	// of keys newly added and the first error encountered. Keys after a
+	// failed one are still attempted, matching MultiSet. The length
+	// contract is CheckBulkLen's: vals must have at least len(keys)
+	// elements, and a shorter vals is an error, not a panic — a mismatched
+	// batch is caller data, not a programming invariant the loader may
+	// assume.
 	BulkLoad(keys [][]byte, vals []uint64) (added int, err error)
+}
+
+// ErrBulkLen reports a bulk-load batch whose vals slice is shorter than its
+// keys slice. Returned (wrapped, with the observed lengths) by every
+// BulkLoad path before any key is inserted.
+var ErrBulkLen = fmt.Errorf("index: bulk load vals shorter than keys")
+
+// CheckBulkLen enforces the shared bulk-load length contract: vals must
+// have at least len(keys) elements (extra values are ignored). It returns
+// a wrapped ErrBulkLen naming both lengths, so every implementation —
+// native BulkLoaders and the fallback alike — rejects a mismatched batch
+// the same way.
+func CheckBulkLen(keys [][]byte, vals []uint64) error {
+	if len(vals) < len(keys) {
+		return fmt.Errorf("%w: %d keys, %d vals", ErrBulkLen, len(keys), len(vals))
+	}
+	return nil
 }
 
 // BulkLoad loads keys[i] → vals[i] into ix through its native BulkLoader
@@ -18,6 +40,9 @@ type BulkLoader interface {
 // This is the one entry point the YCSB LOAD phase, the bench harness, and
 // the mini-Redis preload all share.
 func BulkLoad(ix Index, keys [][]byte, vals []uint64) (int, error) {
+	if err := CheckBulkLen(keys, vals); err != nil {
+		return 0, err
+	}
 	if bl, ok := ix.(BulkLoader); ok {
 		return bl.BulkLoad(keys, vals)
 	}
@@ -34,6 +59,9 @@ const bulkChunk = 4096
 // one carried an error (matching MultiSet's keep-going contract); the
 // first error is returned.
 func FallbackBulkLoad(ix Index, keys [][]byte, vals []uint64) (int, error) {
+	if err := CheckBulkLen(keys, vals); err != nil {
+		return 0, err
+	}
 	added := 0
 	var firstErr error
 	errs := make([]error, min(bulkChunk, len(keys)))

@@ -1,6 +1,7 @@
 package index_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -82,6 +83,32 @@ func (f failKeyIndex) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
 }
 
 var errBad = fmt.Errorf("injected failure")
+
+// TestBulkLoadLengthContract: every bulk-load path shares one documented
+// length rule — vals must have at least len(keys) elements; a shorter vals
+// returns index.ErrBulkLen before any insert. Extra vals are ignored.
+func TestBulkLoadLengthContract(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	for _, load := range []struct {
+		name string
+		fn   func(index.Index, [][]byte, []uint64) (int, error)
+	}{
+		{"BulkLoad", index.BulkLoad},
+		{"FallbackBulkLoad", index.FallbackBulkLoad},
+	} {
+		ix := btree.New()
+		if _, err := load.fn(ix, keys, []uint64{1, 2}); !errors.Is(err, index.ErrBulkLen) {
+			t.Fatalf("%s with short vals: err = %v, want ErrBulkLen", load.name, err)
+		}
+		if ix.Len() != 0 {
+			t.Fatalf("%s inserted %d keys before failing", load.name, ix.Len())
+		}
+		// At-length and over-length vals both load fine.
+		if added, err := load.fn(ix, keys, []uint64{1, 2, 3, 4}); err != nil || added != 3 {
+			t.Fatalf("%s with extra vals = %d, %v", load.name, added, err)
+		}
+	}
+}
 
 // TestFallbackBulkLoadKeepsGoing: an error in an early chunk must not
 // abandon the later chunks — BulkLoader semantics match MultiSet's

@@ -8,6 +8,7 @@ package indextest
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -400,6 +401,16 @@ func testBulkLoad(t *testing.T, mk func(int) index.Index, opts Options) {
 	// An empty load is a no-op, not a panic.
 	if added, err := index.BulkLoad(mk(4), nil, nil); added != 0 || err != nil {
 		t.Fatalf("empty BulkLoad = %d, %v", added, err)
+	}
+	// A vals slice shorter than keys is a reported error (index.ErrBulkLen)
+	// before any key lands — a mismatched batch is caller data, not a
+	// license to panic.
+	short := mk(4)
+	if _, err := index.BulkLoad(short, [][]byte{u64key(1), u64key(2)}, []uint64{9}); !errors.Is(err, index.ErrBulkLen) {
+		t.Fatalf("short-vals BulkLoad err = %v, want ErrBulkLen", err)
+	}
+	if short.Len() != 0 {
+		t.Fatalf("short-vals BulkLoad inserted %d keys before failing", short.Len())
 	}
 }
 

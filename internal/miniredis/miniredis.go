@@ -22,6 +22,7 @@ package miniredis
 import (
 	"fmt"
 	"hash/maphash"
+	"io"
 	"net"
 	"runtime"
 	"strconv"
@@ -224,7 +225,7 @@ func (s *Server) serve(conn net.Conn) {
 	for {
 		cmd, err := r.ReadCommand()
 		if err != nil {
-			w.Flush()
+			s.dropWithError(w, err)
 			return
 		}
 		// Drain any further pipelined commands already buffered: the batch is
@@ -241,13 +242,26 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		s.dispatchBatch(w, batch)
 		if err != nil { // tail read error: answer what we got, then drop
-			w.Flush()
+			s.dropWithError(w, err)
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// dropWithError ends a connection the way Redis does: a clean hangup (EOF
+// between commands) just closes, but malformed input gets an
+// "-ERR Protocol error" reply first, so the client can diagnose what it
+// sent instead of seeing a silent disconnect. The reply rides the same
+// flush as any replies already owed for the drained pipeline; flush errors
+// are moot — the connection is being dropped either way.
+func (s *Server) dropWithError(w *resp.Writer, err error) {
+	if err != io.EOF {
+		w.WriteError(fmt.Sprintf("Protocol error: %v", err))
+	}
+	w.Flush()
 }
 
 // dispatchBatch executes a pipeline of commands. Consecutive ZSCOREs against

@@ -3,6 +3,7 @@ package miniredis
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -223,6 +224,77 @@ func TestPartialPipelineDoesNotStall(t *testing.T) {
 	if err != nil || string(buf[:n]) != "+PONG\r\n" {
 		t.Fatalf("completed second command reply = %q, %v", buf[:n], err)
 	}
+}
+
+// TestProtocolErrorReply: malformed RESP from a client must draw an
+// "-ERR Protocol error" reply before the server drops the connection —
+// the old server closed silently, leaving the client nothing to diagnose
+// with. A clean disconnect (EOF between commands) must NOT produce one.
+func TestProtocolErrorReply(t *testing.T) {
+	srv := NewServer(func(c int) index.Index { return skiplist.New(1) }, 64, true)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	read := func(conn net.Conn) string {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		var out []byte
+		buf := make([]byte, 256)
+		for {
+			n, err := conn.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil { // server closed after the error reply
+				return string(out)
+			}
+		}
+	}
+
+	// Malformed first command: error reply, then close.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("*x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(conn); !strings.HasPrefix(got, "-ERR Protocol error") {
+		t.Fatalf("malformed command drew %q, want -ERR Protocol error prefix", got)
+	}
+
+	// Malformed command mid-pipeline: the completed command's reply must
+	// still arrive, followed by the protocol-error reply, then close.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("*1\r\n$4\r\nPING\r\n*x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	got := read(conn2)
+	if !strings.HasPrefix(got, "+PONG\r\n") {
+		t.Fatalf("mid-pipeline: completed command's reply missing: %q", got)
+	}
+	if !strings.Contains(got, "-ERR Protocol error") {
+		t.Fatalf("mid-pipeline protocol error drew %q, want -ERR Protocol error reply", got)
+	}
+
+	// Clean EOF: no error reply, just a close.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn3.Write([]byte("*1\r\n$4\r\nPING\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn3.(*net.TCPConn).CloseWrite()
+	if got := read(conn3); got != "+PONG\r\n" {
+		t.Fatalf("clean EOF drew %q, want only +PONG", got)
+	}
+	conn3.Close()
 }
 
 // rawServer speaks raw RESP so tests can script malformed replies: it reads
@@ -541,6 +613,68 @@ func TestRangeRoutedFactory(t *testing.T) {
 		b := m.([]byte)
 		if string(b) <= string(prev) {
 			t.Fatalf("cross-boundary range disorder at %d: %x after %x", i, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestSampledRoutedPreload serves sampled-routed sorted sets: Preload's
+// bulk load trains the router's boundaries from the preloaded key stream,
+// after which the keys must be spread across shards (not piled on shard 0
+// as an untrained router would), reads must come back over the wire, and
+// ZRANGEBYLEX must stay globally ordered across the sampled boundaries.
+func TestSampledRoutedPreload(t *testing.T) {
+	factory := ShardedFactoryWithRouter(
+		func(c int) index.Index { return skiplist.New(1) }, 4, sharded.NewSampledRouter)
+	srv := NewServer(factory, 1024, true)
+	// Skewed keys: a shared prefix defeats first-byte (prefix) routing, but
+	// sampled boundaries must still spread them.
+	keys := make([][]byte, 400)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user:%05d", i*7))
+		vals[i] = uint64(i)
+	}
+	added, err := srv.Preload("warm", keys, vals)
+	if err != nil || added != len(keys) {
+		t.Fatalf("Preload = %d, %v", added, err)
+	}
+	sx, ok := srv.set("warm").(*sharded.Index)
+	if !ok {
+		t.Fatal("sampled factory did not build a sharded index")
+	}
+	lens := sx.ShardLens()
+	for s, l := range lens {
+		if l == 0 {
+			t.Fatalf("shard %d empty after sampled preload: %v", s, lens)
+		}
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if r, _ := cl.Do([]byte("ZSCORE"), []byte("warm"), []byte("user:00707")); string(r.([]byte)) != "101" {
+		t.Fatalf("ZSCORE preloaded key = %v", r)
+	}
+	r, err := cl.Do([]byte("ZRANGEBYLEX"), []byte("warm"), []byte("user:0070"), []byte("20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := r.([]interface{})
+	if len(arr) != 20 {
+		t.Fatalf("sampled range returned %d members", len(arr))
+	}
+	prev := ""
+	for i, m := range arr {
+		b := string(m.([]byte))
+		if b <= prev {
+			t.Fatalf("sampled range disorder at %d: %q after %q", i, b, prev)
 		}
 		prev = b
 	}

@@ -96,6 +96,37 @@ func parseBufferedInt(b []byte) (int, bool) {
 	return n, true
 }
 
+// maxLen caps any length prefix a peer can declare ($n bulk payloads and
+// *n reply arrays), mirroring parseBufferedInt's bound: without it a
+// client sending "$2147483647" forces a ~2 GB allocation before a single
+// payload byte arrives. Lengths beyond the cap are protocol errors, not
+// values to be honored.
+const maxLen = 1 << 30
+
+// parseLen parses a RESP length prefix (the digits after '$' or '*'): a
+// non-negative decimal capped at maxLen, or exactly "-1" (the null
+// marker), which returns -1. Anything else — other negatives, garbage,
+// overflow — is ErrProtocol.
+func parseLen(b []byte) (int, error) {
+	if len(b) == 2 && b[0] == '-' && b[1] == '1' {
+		return -1, nil
+	}
+	if len(b) == 0 {
+		return 0, ErrProtocol
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, ErrProtocol
+		}
+		n = n*10 + int(c-'0')
+		if n > maxLen {
+			return 0, ErrProtocol
+		}
+	}
+	return n, nil
+}
+
 // ReadCommand reads a client command: an array of bulk strings.
 func (r *Reader) ReadCommand() ([][]byte, error) {
 	line, err := r.readLine()
@@ -124,7 +155,7 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 		}
 		return parts, nil
 	}
-	n, err := strconv.Atoi(string(line[1:]))
+	n, err := parseLen(line[1:])
 	if err != nil || n < 0 || n > 1024 {
 		return nil, ErrProtocol
 	}
@@ -150,6 +181,9 @@ func (r *Reader) readLine() ([]byte, error) {
 	return line[:len(line)-2], nil
 }
 
+// readBulk reads one bulk string of a command array. Null bulks ($-1) are
+// rejected: inside a command a nil argument has no meaning — it would flow
+// into the store as a nil key/member — and real Redis likewise refuses it.
 func (r *Reader) readBulk() ([]byte, error) {
 	line, err := r.readLine()
 	if err != nil {
@@ -158,12 +192,9 @@ func (r *Reader) readBulk() ([]byte, error) {
 	if len(line) == 0 || line[0] != '$' {
 		return nil, ErrProtocol
 	}
-	n, err := strconv.Atoi(string(line[1:]))
-	if err != nil {
+	n, err := parseLen(line[1:])
+	if err != nil || n < 0 {
 		return nil, ErrProtocol
-	}
-	if n < 0 {
-		return nil, nil
 	}
 	buf := make([]byte, n+2)
 	if _, err := io.ReadFull(r.br, buf); err != nil {
@@ -194,7 +225,7 @@ func (r *Reader) ReadReply() (interface{}, error) {
 	case ':':
 		return strconv.ParseInt(string(line[1:]), 10, 64)
 	case '$':
-		n, err := strconv.Atoi(string(line[1:]))
+		n, err := parseLen(line[1:])
 		if err != nil {
 			return nil, ErrProtocol
 		}
@@ -207,14 +238,17 @@ func (r *Reader) ReadReply() (interface{}, error) {
 		}
 		return buf[:n], nil
 	case '*':
-		n, err := strconv.Atoi(string(line[1:]))
+		n, err := parseLen(line[1:])
 		if err != nil {
 			return nil, ErrProtocol
 		}
 		if n < 0 {
 			return []interface{}(nil), nil
 		}
-		out := make([]interface{}, 0, n)
+		// Pre-size from the declared count, but bounded: the count is
+		// peer-controlled and each slot is an interface header, so honoring
+		// a huge n would allocate gigabytes before any element arrives.
+		out := make([]interface{}, 0, min(n, 1024))
 		var firstErr error
 		for i := 0; i < n; i++ {
 			v, err := r.ReadReply()

@@ -2,6 +2,7 @@ package resp
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -110,6 +111,55 @@ func TestCommandBuffered(t *testing.T) {
 	}
 	if NewReader(bytes.NewBufferString("")).CommandBuffered() {
 		t.Error("CommandBuffered on empty reader")
+	}
+}
+
+// TestLengthCapRejected: declared lengths beyond the 1<<30 cap are protocol
+// errors everywhere a peer can declare one — bulk payloads in commands,
+// bulk and array headers in replies. The old parser accepted any int that
+// fit in 31 bits and allocated the buffer up front, so "$2147483647" from
+// an unauthenticated client reserved ~2 GB before a single payload byte
+// arrived; the fixed parser must fail with ErrProtocol (not an io error
+// after a doomed allocation-and-read).
+func TestLengthCapRejected(t *testing.T) {
+	huge := []string{"2147483647", "1073741825"} // > 1<<30
+	for _, n := range huge {
+		r := NewReader(strings.NewReader("*1\r\n$" + n + "\r\n"))
+		if _, err := r.ReadCommand(); !errors.Is(err, ErrProtocol) {
+			t.Errorf("command bulk $%s: err = %v, want ErrProtocol", n, err)
+		}
+		r = NewReader(strings.NewReader("$" + n + "\r\n"))
+		if _, err := r.ReadReply(); !errors.Is(err, ErrProtocol) {
+			t.Errorf("reply bulk $%s: err = %v, want ErrProtocol", n, err)
+		}
+		r = NewReader(strings.NewReader("*" + n + "\r\n"))
+		if _, err := r.ReadReply(); !errors.Is(err, ErrProtocol) {
+			t.Errorf("reply array *%s: err = %v, want ErrProtocol", n, err)
+		}
+	}
+	// At the cap is still accepted as a length (the read then fails on the
+	// missing payload, which is a different error) — the cap bounds
+	// declared lengths, it does not shrink the protocol.
+	r := NewReader(strings.NewReader("$1073741824\r\n"))
+	if _, err := r.ReadReply(); errors.Is(err, ErrProtocol) {
+		t.Errorf("reply bulk at cap: err = %v, want a read error, not ErrProtocol", err)
+	}
+	// Negative lengths other than -1 are malformed, not nulls.
+	r = NewReader(strings.NewReader("$-2\r\n"))
+	if _, err := r.ReadReply(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("reply bulk $-2: err = %v, want ErrProtocol", err)
+	}
+}
+
+// TestNullBulkInCommandRejected: a $-1 element inside a command array must
+// be a protocol error. The old readBulk mapped it to a nil slice, so
+// "ZADD <nil> ..." flowed into the keyspace as a nil key — a value the
+// store can never address again.
+func TestNullBulkInCommandRejected(t *testing.T) {
+	r := NewReader(strings.NewReader("*3\r\n$6\r\nZSCORE\r\n$-1\r\n$1\r\nm\r\n"))
+	cmd, err := r.ReadCommand()
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("command with null bulk: cmd = %q, err = %v, want ErrProtocol", cmd, err)
 	}
 }
 

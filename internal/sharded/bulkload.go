@@ -9,8 +9,25 @@ import "repro/internal/index"
 // path. A key always routes to one shard and sub-streams preserve stream
 // order, so duplicate keys keep last-write-wins semantics even though
 // shards load in parallel. Returns the total newly-added count and the
-// first error in shard order.
+// first error in shard order. A vals slice shorter than keys is rejected
+// up front (index.CheckBulkLen) before any key lands.
+//
+// An untrained sampled router (see SampledRouter) is trained from the
+// insert stream here, before the routing pass — but only while the index
+// is still empty: keys already placed under the old (degenerate) table
+// must not be stranded in shards the new boundaries would never route a
+// lookup to. The emptiness check is decided against a quiescent index: a
+// Set racing the FIRST bulk load can land under the untrained table after
+// the check and be stranded once boundaries install. Deployments that
+// write concurrently with their initial load must pre-train the router
+// (NewSampledRouterFromSample) instead of relying on in-load training.
 func (x *Index) BulkLoad(keys [][]byte, vals []uint64) (int, error) {
+	if err := index.CheckBulkLen(keys, vals); err != nil {
+		return 0, err
+	}
+	if sr, ok := x.router.(*SampledRouter); ok && !sr.Trained() && x.Len() == 0 {
+		sr.Train(keys)
+	}
 	n := len(x.shards)
 	if n == 1 {
 		return index.BulkLoad(x.shards[0], keys, vals)

@@ -1,6 +1,11 @@
 package sharded
 
-import "hash/maphash"
+import (
+	"bytes"
+	"hash/maphash"
+	"sort"
+	"sync/atomic"
+)
 
 // Router maps keys to shards. The routing policy determines not just load
 // balance but which ordered-operation strategy is available: a hash router
@@ -34,6 +39,8 @@ func RouterByName(name string) (RouterMaker, bool) {
 		return NewHashRouter, true
 	case "range":
 		return NewPrefixRouter, true
+	case "sampled":
+		return NewSampledRouter, true
 	}
 	return nil, false
 }
@@ -93,3 +100,106 @@ func (r *prefixRouter) Route(key []byte) int {
 
 func (r *prefixRouter) Ordered() bool { return true }
 func (r *prefixRouter) Name() string  { return "range" }
+
+// maxBoundarySample caps how many keys boundary selection sorts: beyond a
+// few thousand samples the quantile estimate is already within a percent or
+// two of the true key distribution, so sampling a stride of a large stream
+// costs one pass instead of an O(n log n) sort of the whole load.
+const maxBoundarySample = 8192
+
+// SampledRouter is a range router whose shard boundaries come from a key
+// sample instead of a fixed prefix: the sample is sorted and the keys at
+// its n-1 evenly spaced quantiles become the boundary table, so each shard
+// owns roughly the same fraction of the SAMPLED distribution — balanced
+// for any key distribution, where the prefix router balances only as well
+// as the keys' first bytes (one hot shard on az/reddit-style skew). A key
+// routes to the number of boundaries ≤ it (binary search), which is
+// monotone in lexicographic order, so the router is order-preserving and
+// the chain cursor's single-shard scan bypass applies unchanged.
+//
+// The router starts untrained when built without a sample
+// (NewSampledRouter, the "sampled" RouterByName mode): every key then
+// routes to shard 0, which is trivially order-preserving. Index.BulkLoad
+// trains an untrained router from the insert stream before partitioning —
+// but only when the index is still empty, so keys placed under the
+// untrained (or a previous) boundary table are never stranded in a shard
+// the new table would not route to. Training is atomic and first-wins;
+// Route always reads a consistent boundary table. The empty-index check
+// assumes no writer races the first bulk load (see Index.BulkLoad); when
+// that cannot be guaranteed, build the router pre-trained with
+// NewSampledRouterFromSample.
+type SampledRouter struct {
+	shards     int
+	boundaries atomic.Pointer[[][]byte] // nil until trained; len = shards-1
+}
+
+// NewSampledRouter returns an untrained sampled-boundary range router for a
+// power-of-two shard count: all keys route to shard 0 until Train (or the
+// first bulk load into an empty index) installs a boundary table.
+func NewSampledRouter(shards int) Router {
+	return &SampledRouter{shards: shards}
+}
+
+// NewSampledRouterFromSample returns a RouterMaker whose routers are
+// pre-trained from sample — for engines whose key distribution is known at
+// construction time (e.g. a server preloading a known dataset).
+func NewSampledRouterFromSample(sample [][]byte) RouterMaker {
+	return func(shards int) Router {
+		r := &SampledRouter{shards: shards}
+		r.Train(sample)
+		return r
+	}
+}
+
+// Trained reports whether a boundary table is installed.
+func (r *SampledRouter) Trained() bool { return r.boundaries.Load() != nil }
+
+// Train derives the boundary table from sample and installs it, once: the
+// first successful Train wins and later calls are no-ops, so concurrent
+// loaders converge on one partition. A single-shard router or an empty
+// sample trains to the degenerate empty table (everything on shard 0).
+func (r *SampledRouter) Train(sample [][]byte) {
+	if r.Trained() {
+		return
+	}
+	b := pickBoundaries(sample, r.shards)
+	r.boundaries.CompareAndSwap(nil, &b)
+}
+
+// pickBoundaries sorts (a strided sample of) keys and returns the shards-1
+// quantile keys that split them into equal-count ranges.
+func pickBoundaries(keys [][]byte, shards int) [][]byte {
+	if shards <= 1 || len(keys) == 0 {
+		return [][]byte{}
+	}
+	stride := 1
+	if len(keys) > maxBoundarySample {
+		stride = (len(keys) + maxBoundarySample - 1) / maxBoundarySample
+	}
+	sample := make([][]byte, 0, (len(keys)+stride-1)/stride)
+	for i := 0; i < len(keys); i += stride {
+		sample = append(sample, keys[i])
+	}
+	sort.Slice(sample, func(i, j int) bool { return bytes.Compare(sample[i], sample[j]) < 0 })
+	bounds := make([][]byte, 0, shards-1)
+	for s := 1; s < shards; s++ {
+		b := sample[s*len(sample)/shards]
+		// Boundaries are copied: the table must outlive the caller's sample.
+		bounds = append(bounds, append([]byte(nil), b...))
+	}
+	return bounds
+}
+
+// Route returns the number of boundaries ≤ key: keys below the first
+// boundary land on shard 0, keys at or above the last on shard n-1.
+func (r *SampledRouter) Route(key []byte) int {
+	bp := r.boundaries.Load()
+	if bp == nil {
+		return 0
+	}
+	b := *bp
+	return sort.Search(len(b), func(i int) bool { return bytes.Compare(key, b[i]) < 0 })
+}
+
+func (r *SampledRouter) Ordered() bool { return true }
+func (r *SampledRouter) Name() string  { return "sampled" }

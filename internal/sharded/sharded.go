@@ -7,8 +7,10 @@
 // across keys, then across cores).
 //
 // Key→shard routing is pluggable (see Router): the default hash router
-// spreads any key distribution evenly, while the range (prefix) router
-// preserves key order across shards. MultiGet/MultiSet scatter the batch
+// spreads any key distribution evenly, the range (prefix) router preserves
+// key order across shards, and the sampled router preserves order AND
+// balances any distribution by picking shard boundaries from a key sample
+// (see SampledRouter). MultiGet/MultiSet scatter the batch
 // into per-shard sub-batches run on a bounded worker pool, with scratch
 // buffers pooled and results written back into the caller's slices in
 // caller order. Ordered operations (Scan, Cursor) depend on the router:
@@ -119,6 +121,16 @@ func (x *Index) Len() int {
 		total += s.Len()
 	}
 	return total
+}
+
+// ShardLens reports each shard's key count, in shard order — the raw data
+// behind a router's load-balance figure (max/mean of this slice).
+func (x *Index) ShardLens() []int {
+	lens := make([]int, len(x.shards))
+	for i, s := range x.shards {
+		lens[i] = s.Len()
+	}
+	return lens
 }
 
 // MemoryOverheadBytes sums the shard overheads.

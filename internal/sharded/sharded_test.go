@@ -2,6 +2,7 @@ package sharded_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	cuckootrie "repro"
 	"repro/internal/art"
 	"repro/internal/btree"
+	"repro/internal/dataset"
 	"repro/internal/hot"
 	"repro/internal/index"
 	"repro/internal/index/indextest"
@@ -61,6 +63,59 @@ func TestConformanceShardedRange(t *testing.T) {
 				return sharded.NewWithRouter(4, c, mk, sharded.NewPrefixRouter)
 			}, indextest.Options{})
 		})
+	}
+}
+
+// sampledTestRouter returns a RouterMaker pre-trained on indextest's key
+// distribution (random 1–20-byte keys), so the conformance suite genuinely
+// spreads keys across sampled shards instead of degenerating to shard 0.
+func sampledTestRouter() sharded.RouterMaker {
+	rng := rand.New(rand.NewSource(99))
+	sample := make([][]byte, 1024)
+	for i := range sample {
+		k := make([]byte, 1+rng.Intn(20))
+		rng.Read(k)
+		sample[i] = k
+	}
+	return sharded.NewSampledRouterFromSample(sample)
+}
+
+// TestConformanceShardedSampled runs the full suite with the sampled
+// router: ordered iteration rides the chain cursor over sample-derived
+// boundaries. Every engine runs with a pre-trained router; CuckooTrie also
+// runs with an UNTRAINED router (the RouterByName "sampled" mode), where
+// incremental construction degenerates to shard 0 and the suite's
+// BulkLoad case covers train-on-first-load equivalence.
+func TestConformanceShardedSampled(t *testing.T) {
+	for name, mk := range factories() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			indextest.Run(t, func(c int) index.Index {
+				return sharded.NewWithRouter(4, c, mk, sampledTestRouter())
+			}, indextest.Options{})
+		})
+	}
+	t.Run("CuckooTrie-untrained", func(t *testing.T) {
+		indextest.Run(t, func(c int) index.Index {
+			return sharded.NewWithRouter(4, c, factories()["CuckooTrie"], sharded.NewSampledRouter)
+		}, indextest.Options{})
+	})
+}
+
+// TestRouterByName: every registered routing mode resolves, reports its
+// own name, and unknown modes fail.
+func TestRouterByName(t *testing.T) {
+	for _, name := range []string{"hash", "range", "sampled"} {
+		mk, ok := sharded.RouterByName(name)
+		if !ok {
+			t.Fatalf("RouterByName(%q) not resolved", name)
+		}
+		if got := mk(4).Name(); got != name {
+			t.Fatalf("RouterByName(%q).Name() = %q", name, got)
+		}
+	}
+	if _, ok := sharded.RouterByName("nope"); ok {
+		t.Fatal("RouterByName resolved an unknown mode")
 	}
 }
 
@@ -357,6 +412,200 @@ func TestRangeScanSingleShardBypass(t *testing.T) {
 	}
 }
 
+// maxMeanRatio is the balance figure the bench tables report: the largest
+// shard's key count over the mean. 1.0 is perfect balance; the shard count
+// is the worst case (everything on one shard).
+func maxMeanRatio(lens []int) float64 {
+	total, max := 0, 0
+	for _, l := range lens {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(len(lens)))
+}
+
+// TestSampledRouterBalanceSkewed is the balance acceptance test: on the
+// skewed datasets (az keys share a long "B..." prefix; reddit usernames
+// cluster in the lowercase range), the prefix router's first-byte
+// partition piles keys onto a hot shard (max/mean well above 1.25 at 8
+// shards), while the sampled router's quantile boundaries must keep
+// max/mean ≤ 1.25 — order-preserving routing without the hot shard.
+func TestSampledRouterBalanceSkewed(t *testing.T) {
+	const shards = 8
+	for _, ds := range []dataset.Name{dataset.AZ, dataset.Reddit} {
+		ds := ds
+		t.Run(string(ds), func(t *testing.T) {
+			keys := dataset.Generate(ds, 20_000, 1)
+			vals := make([]uint64, len(keys))
+			for i := range vals {
+				vals[i] = uint64(i)
+			}
+			load := func(mk sharded.RouterMaker) []int {
+				ix := sharded.NewWithRouter(shards, len(keys), factories()["SkipList"], mk)
+				if _, err := ix.BulkLoad(keys, vals); err != nil {
+					t.Fatal(err)
+				}
+				return ix.ShardLens()
+			}
+			prefix := maxMeanRatio(load(sharded.NewPrefixRouter))
+			sampled := maxMeanRatio(load(sharded.NewSampledRouter))
+			if prefix <= 1.25 {
+				t.Fatalf("prefix router balanced %s (max/mean %.2f) — dataset not skewed enough to prove anything", ds, prefix)
+			}
+			if sampled > 1.25 {
+				t.Fatalf("sampled router max/mean = %.2f on %s, want <= 1.25 (prefix: %.2f)", sampled, ds, prefix)
+			}
+			t.Logf("%s at %d shards: prefix max/mean %.2f, sampled %.2f", ds, shards, prefix, sampled)
+		})
+	}
+}
+
+// TestSampledScanSingleShardBypass: the chain cursor's single-shard scan
+// fast path must survive the router swap — under a trained sampled router,
+// a scan whose range lives inside one sampled boundary interval opens ONLY
+// that shard's cursor, exactly like the prefix router's bypass.
+func TestSampledScanSingleShardBypass(t *testing.T) {
+	// Train on the exact key population: 1024 two-byte keys, so the 4-shard
+	// quantile boundaries are {0x40,0x00}, {0x80,0x00}, {0xc0,0x00} and
+	// shard 1 owns first bytes 0x40..0x7f.
+	var sample [][]byte
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 4; j++ {
+			sample = append(sample, []byte{byte(b), byte(j)})
+		}
+	}
+	ix, opens := spyFactory(t, 4, sharded.NewSampledRouterFromSample(sample))
+	if !ix.Router().Ordered() || ix.Router().Name() != "sampled" {
+		t.Fatalf("router = %s ordered=%v", ix.Router().Name(), ix.Router().Ordered())
+	}
+	for _, k := range sample {
+		if _, err := ix.Set(k, uint64(k[0])*4+uint64(k[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	n := ix.Scan([]byte{0x50}, 10, func(k []byte, v uint64) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("scan visited %d keys, want 10", n)
+	}
+	for i, k := range got {
+		want := []byte{byte(0x50 + i/4), byte(i % 4)}
+		if !bytes.Equal(k, want) {
+			t.Fatalf("scan[%d] = %x, want %x", i, k, want)
+		}
+	}
+	for s, o := range opens {
+		want := int32(0)
+		if s == 1 {
+			want = 1
+		}
+		if o != want {
+			t.Fatalf("shard %d: %d cursor opens, want %d (opens = %v)", s, o, want, opens)
+		}
+	}
+	// A scan crossing the sampled shard-1/shard-2 boundary opens exactly
+	// the two shards it reaches.
+	var crossed []byte
+	ix.Scan([]byte{0x7f, 0x03}, 2, func(k []byte, v uint64) bool {
+		crossed = append(crossed, k[0])
+		return true
+	})
+	if !bytes.Equal(crossed, []byte{0x7f, 0x80}) {
+		t.Fatalf("boundary scan first bytes = %x, want 7f80", crossed)
+	}
+	if opens[0] != 0 || opens[3] != 0 {
+		t.Fatalf("boundary scan touched uninvolved shards: opens = %v", opens)
+	}
+}
+
+// TestSampledTrainOnce: training happens exactly once, and only into an
+// empty index — keys placed before training (all on shard 0 under the
+// untrained table) must never be stranded by a later retrain, and a second
+// bulk load must reuse the first load's boundaries.
+func TestSampledTrainOnce(t *testing.T) {
+	mkIndex := func() *sharded.Index {
+		return sharded.NewWithRouter(4, 1<<10, factories()["SkipList"], sharded.NewSampledRouter)
+	}
+	spread := func(lo, hi, n int) ([][]byte, []uint64) {
+		keys := make([][]byte, n)
+		vals := make([]uint64, n)
+		for i := range keys {
+			keys[i] = []byte{byte(lo + i*(hi-lo)/n), byte(i)}
+			vals[i] = uint64(i)
+		}
+		return keys, vals
+	}
+
+	// BulkLoad into an empty index trains: keys spread across shards.
+	ix := mkIndex()
+	keys, vals := spread(0, 256, 512)
+	if _, err := ix.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for s, l := range ix.ShardLens() {
+		if l == 0 {
+			t.Fatalf("shard %d empty after training load: %v", s, ix.ShardLens())
+		}
+	}
+	// A second, differently-distributed load must NOT retrain (boundaries
+	// fixed). Its 3-byte keys cannot collide with the first load's 2-byte
+	// keys, so the count must come out exact.
+	moreKeys := make([][]byte, 64)
+	moreVals := make([]uint64, 64)
+	for i := range moreKeys {
+		moreKeys[i] = []byte{byte(128 + i), byte(i), 0xff}
+		moreVals[i] = uint64(i)
+	}
+	if _, err := ix.BulkLoad(moreKeys, moreVals); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Len(); got != 512+64 {
+		t.Fatalf("Len after second load = %d, want %d (retrain stranded keys?)", got, 512+64)
+	}
+
+	// Set-before-BulkLoad: the index is non-empty when the load arrives, so
+	// training must be skipped — under a trained table the load's duplicate
+	// of the pre-load key would route to a DIFFERENT shard than the copy
+	// already sitting in shard 0, leaving a stale duplicate behind.
+	pre := []byte{0x80, 0xff, 0xee}
+	ix2 := mkIndex()
+	if _, err := ix2.Set(pre, 7); err != nil {
+		t.Fatal(err)
+	}
+	dupKeys := append(append([][]byte{}, keys...), pre)
+	dupVals := append(append([]uint64{}, vals...), 1000)
+	if _, err := ix2.BulkLoad(dupKeys, dupVals); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := ix2.Router().(*sharded.SampledRouter); !ok || r.Trained() {
+		t.Fatalf("router trained into a non-empty index (trained=%v)", r.Trained())
+	}
+	if got := ix2.Len(); got != 512+1 {
+		t.Fatalf("Len = %d after load into non-empty index, want %d", got, 512+1)
+	}
+	if v, ok := ix2.Get(pre); !ok || v != 1000 {
+		t.Fatalf("pre-load key = %d,%v after dup load, want 1000", v, ok)
+	}
+	var hits int
+	ix2.Scan(nil, 1<<30, func(k []byte, v uint64) bool {
+		if bytes.Equal(k, pre) {
+			hits++
+		}
+		return true
+	})
+	if hits != 1 {
+		t.Fatalf("pre-load key appears %d times in scan, want 1 (stale copy stranded)", hits)
+	}
+}
+
 // TestPooledCursorReuse: Close recycles cursors (and their shard cursors)
 // through the pool, so repeated scans stop calling NewCursor on the shards
 // after warm-up, and a recycled cursor re-Seeks correctly.
@@ -364,7 +613,11 @@ func TestPooledCursorReuse(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		mk   sharded.RouterMaker
-	}{{"hash", sharded.NewHashRouter}, {"range", sharded.NewPrefixRouter}} {
+	}{
+		{"hash", sharded.NewHashRouter},
+		{"range", sharded.NewPrefixRouter},
+		{"sampled", sharded.NewSampledRouterFromSample(singleByteKeys())},
+	} {
 		t.Run(tc.name, func(t *testing.T) {
 			ix, opens := spyFactory(t, 4, tc.mk)
 			for b := 0; b < 256; b++ {
@@ -411,9 +664,121 @@ func TestPooledCursorReuse(t *testing.T) {
 	}
 }
 
+// singleByteKeys returns every single-byte key in order — a training
+// sample whose 4-shard quantile boundaries are 0x40, 0x80, 0xc0.
+func singleByteKeys() [][]byte {
+	out := make([][]byte, 256)
+	for b := range out {
+		out[b] = []byte{byte(b)}
+	}
+	return out
+}
+
+// allRouters lists every routing mode for tests that must hold across all
+// three; the sampled entry is pre-trained on single-byte keys.
+func allRouters() []struct {
+	name string
+	mk   sharded.RouterMaker
+} {
+	return []struct {
+		name string
+		mk   sharded.RouterMaker
+	}{
+		{"hash", sharded.NewHashRouter},
+		{"range", sharded.NewPrefixRouter},
+		{"sampled", sharded.NewSampledRouterFromSample(singleByteKeys())},
+	}
+}
+
+// TestRecycledCursorSeeksFresh: a cursor re-acquired after Close must carry
+// no state from its previous life — Valid/Key report unpositioned, and the
+// first Seek repositions every underlying shard cursor correctly even
+// though those stayed open across the recycle. Runs across all three
+// routers (merge cursor under hash, chain cursor under range/sampled).
+func TestRecycledCursorSeeksFresh(t *testing.T) {
+	for _, tc := range allRouters() {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, _ := spyFactory(t, 4, tc.mk)
+			for b := 0; b < 256; b++ {
+				if _, err := ix.Set([]byte{byte(b)}, uint64(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// First life: position deep into the keyspace, then Close
+			// mid-iteration so cur/heap state is mid-stream, not exhausted.
+			c := ix.NewCursor()
+			if !c.Seek([]byte{0xe0}) || c.Value() != 0xe0 {
+				t.Fatalf("first-life Seek = %v value %d", c.Valid(), c.Value())
+			}
+			c.Next()
+			c.Close()
+
+			// Second life (same pooled object under the hood): unpositioned
+			// until Seek, then repositions from scratch at a lower key.
+			c2 := ix.NewCursor()
+			if c2.Valid() {
+				t.Fatal("recycled cursor valid before Seek (stale position)")
+			}
+			if c2.Key() != nil {
+				t.Fatalf("recycled cursor Key = %x before Seek", c2.Key())
+			}
+			if !c2.Seek([]byte{0x10}) || c2.Value() != 0x10 {
+				t.Fatalf("recycled Seek(0x10) = %v value %d", c2.Valid(), c2.Value())
+			}
+			for want := uint64(0x11); want < 0x18; want++ {
+				if !c2.Next() || c2.Value() != want {
+					t.Fatalf("recycled walk at %d: valid=%v value=%d", want, c2.Valid(), c2.Value())
+				}
+			}
+			c2.Close()
+
+			// Third life: exhaust, recycle, and re-Seek — exhausted state
+			// must not leak either.
+			c3 := ix.NewCursor()
+			if c3.Seek([]byte{0xff, 0x01}) {
+				t.Fatal("Seek past end reported a key")
+			}
+			c3.Close()
+			c4 := ix.NewCursor()
+			if !c4.Seek(nil) || c4.Value() != 0 {
+				t.Fatalf("post-exhaustion recycled Seek(nil) = %v value %d", c4.Valid(), c4.Value())
+			}
+			n := 1
+			for c4.Next() {
+				n++
+			}
+			if n != 256 {
+				t.Fatalf("recycled full walk visited %d keys, want 256", n)
+			}
+			c4.Close()
+		})
+	}
+}
+
+// TestShardedBulkLoadLengthContract: the sharded BulkLoad method itself
+// (not just the index.BulkLoad entry point) must reject a short vals slice
+// with index.ErrBulkLen — the old code sliced vals[:len(keys)] and
+// panicked.
+func TestShardedBulkLoadLengthContract(t *testing.T) {
+	ix := sharded.New(4, 64, factories()["SkipList"])
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	added, err := ix.BulkLoad(keys, []uint64{1})
+	if !errors.Is(err, index.ErrBulkLen) {
+		t.Fatalf("short-vals sharded BulkLoad = %d, %v, want ErrBulkLen", added, err)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("short-vals BulkLoad inserted %d keys", ix.Len())
+	}
+	// Extra vals beyond len(keys) are ignored, not an error.
+	if added, err := ix.BulkLoad(keys, []uint64{1, 2, 3, 4}); err != nil || added != 3 {
+		t.Fatalf("extra-vals BulkLoad = %d, %v", added, err)
+	}
+}
+
 // TestBulkLoadPartitioned: the sharded BulkLoad must agree with the
-// incremental path on a stream with duplicates, under both routers, and
-// report per-shard added counts summed correctly.
+// incremental path on a stream with duplicates, under every router —
+// including an untrained sampled router, which derives its boundaries from
+// this very stream — and report per-shard added counts summed correctly.
 func TestBulkLoadPartitioned(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	n := 20000
@@ -429,10 +794,11 @@ func TestBulkLoadPartitioned(t *testing.T) {
 		}
 		vals[i] = uint64(i)
 	}
-	for _, tc := range []struct {
+	routers := append(allRouters(), struct {
 		name string
 		mk   sharded.RouterMaker
-	}{{"hash", sharded.NewHashRouter}, {"range", sharded.NewPrefixRouter}} {
+	}{"sampled-untrained", sharded.NewSampledRouter})
+	for _, tc := range routers {
 		t.Run(tc.name, func(t *testing.T) {
 			bulk := sharded.NewWithRouter(8, n, factories()["CuckooTrie"], tc.mk)
 			added, err := bulk.BulkLoad(keys, vals)
@@ -491,6 +857,53 @@ func (f failAfterIndex) Set(k []byte, v uint64) (bool, error) {
 
 func (f failAfterIndex) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
 	return index.FallbackMultiSet(f, keys, vals, errs)
+}
+
+// failManyIndex fails Set for every key in bad, each with its own error.
+type failManyIndex struct {
+	index.Index
+	bad map[string]error
+}
+
+func (f failManyIndex) Set(k []byte, v uint64) (bool, error) {
+	if err, ok := f.bad[string(k)]; ok {
+		return false, err
+	}
+	return f.Index.Set(k, v)
+}
+
+func (f failManyIndex) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	return index.FallbackMultiSet(f, keys, vals, errs)
+}
+
+// TestBulkLoadFirstErrorShardOrder: when MULTIPLE shards fail during a
+// partitioned load, the error surfaced is the lowest-numbered failing
+// shard's — deterministic in shard order, not racy in completion order,
+// even though the shards load concurrently.
+func TestBulkLoadFirstErrorShardOrder(t *testing.T) {
+	errShard1 := fmt.Errorf("shard-1 failure")
+	errShard2 := fmt.Errorf("shard-2 failure")
+	bad := map[string]error{
+		"\x50bad": errShard1, // first byte 0x50 → prefix shard 1 of 4
+		"\x90bad": errShard2, // first byte 0x90 → prefix shard 2 of 4
+	}
+	inner := factories()["SkipList"]
+	for i := 0; i < 10; i++ { // repeat: completion order varies per run
+		ix := sharded.NewWithRouter(4, 1<<10, func(c int) index.Index {
+			return failManyIndex{inner(c), bad}
+		}, sharded.NewPrefixRouter)
+		// Stream order puts the HIGHER shard's bad key first: stream order
+		// must not matter, only shard order.
+		keys := [][]byte{{0x90, 'b', 'a', 'd'}, {0x00, 'a'}, {0x50, 'b', 'a', 'd'}, {0xd0, 'c'}}
+		vals := []uint64{1, 2, 3, 4}
+		added, err := ix.BulkLoad(keys, vals)
+		if !errors.Is(err, errShard1) {
+			t.Fatalf("BulkLoad err = %v, want shard 1's error (shard order, not completion order)", err)
+		}
+		if added != 2 {
+			t.Fatalf("BulkLoad added %d, want 2 (the non-failing keys)", added)
+		}
+	}
 }
 
 // TestBulkLoadPropagatesError: a shard failing mid-load surfaces the error
