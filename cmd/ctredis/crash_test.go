@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/miniredis"
+)
+
+// buildCtredis compiles the ctredis binary once per test run.
+func buildCtredis(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ctredis")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startCtredis launches the binary and parses the bound address from its
+// "ctredis listening on <addr>" banner.
+func startCtredis(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "ctredis listening on "); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-deadline:
+		cmd.Process.Kill()
+		t.Fatal("ctredis did not print its listen banner")
+		return nil, ""
+	}
+}
+
+// TestCrashRecoverySmoke is the end-to-end crash drill CI runs: start a
+// persistent ctredis, write through the real RESP path with -fsync always,
+// kill the process with SIGKILL (no shutdown path runs — whatever is on
+// disk is all recovery gets), restart on the same directory, and DBSIZE
+// must report every acknowledged write.
+func TestCrashRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	bin := buildCtredis(t)
+	dir := t.TempDir()
+
+	cmd, addr := startCtredis(t, bin, "-data-dir", dir, "-fsync", "always")
+	cl, err := miniredis.Dial(addr)
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	const writes = 500
+	for i := 0; i < writes; i++ {
+		r, err := cl.Do([]byte("ZADD"), []byte(fmt.Sprintf("set%d", i%8)),
+			[]byte(fmt.Sprintf("m%05d", i)), []byte(fmt.Sprint(i)))
+		if err != nil || r != int64(1) {
+			cmd.Process.Kill()
+			t.Fatalf("ZADD #%d = %v, %v", i, r, err)
+		}
+	}
+	cl.Close()
+	// SIGKILL: the process gets no chance to flush or close anything.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2, addr2 := startCtredis(t, bin, "-data-dir", dir, "-fsync", "always")
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	cl2, err := miniredis.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	r, err := cl2.Do([]byte("DBSIZE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != int64(writes) {
+		t.Fatalf("DBSIZE after kill -9 + restart = %v, want %d (acknowledged fsync=always writes lost)", r, writes)
+	}
+	if r, _ := cl2.Do([]byte("ZSCORE"), []byte("set3"), []byte("m00123")); string(r.([]byte)) != "123" {
+		t.Fatalf("recovered score = %v", r)
+	}
+	// And the recovered server keeps serving writes.
+	if r, _ := cl2.Do([]byte("ZADD"), []byte("set0"), []byte("post-crash"), []byte("1")); r != int64(1) {
+		t.Fatalf("post-recovery ZADD = %v", r)
+	}
+}

@@ -3,6 +3,13 @@
 //
 //	ctredis -addr :6380 -engine CuckooTrie
 //	redis-cli -p 6380 ZADD s hello 1
+//
+// With -data-dir the store is durable: the directory is recovered on boot
+// (newest valid snapshot bulk-loaded, then the WAL tail replayed), writes
+// append to the segmented WAL under the -fsync policy, and SAVE/BGSAVE —
+// or -snapshot-every N — cut compacting snapshots:
+//
+//	ctredis -data-dir /var/lib/ctredis -fsync everysec -snapshot-every 100000
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"repro/internal/hot"
 	"repro/internal/index"
 	"repro/internal/miniredis"
+	"repro/internal/persist"
 	"repro/internal/sharded"
 	"repro/internal/skiplist"
 	"repro/internal/wormhole"
@@ -32,6 +40,9 @@ func main() {
 	shards := flag.Int("shards", 1, "shards per sorted set (>1 enables scatter-gather across cores)")
 	router := flag.String("router", "hash", "key→shard routing for sharded sets: hash|range|sampled (range/sampled keep scans single-shard when possible; sampled derives balanced shard boundaries from the preload stream)")
 	preload := flag.Int("preload", 0, "bulk-load N random 8-byte keys into set 'bench' before serving (partitioned load for sharded sets; trains the sampled router's boundaries)")
+	dataDir := flag.String("data-dir", "", "enable persistence: recover this directory on boot (snapshot + WAL replay) and log writes to it")
+	fsync := flag.String("fsync", "everysec", "WAL fsync policy with -data-dir: always|everysec|no")
+	snapEvery := flag.Int("snapshot-every", 0, "cut a background snapshot every N logged writes (0 disables; SAVE/BGSAVE always work)")
 	flag.Parse()
 
 	factories := map[string]miniredis.EngineFactory{
@@ -58,7 +69,29 @@ func main() {
 		name = fmt.Sprintf("%s x%d shards, %s-routed", name, sharded.RoundShards(*shards), *router)
 	}
 	srv := miniredis.NewServer(f, *capacity, true)
-	if *preload > 0 {
+	recovered := 0
+	if *dataDir != "" {
+		policy, err := persist.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := srv.EnablePersistence(*dataDir, policy, *snapEvery)
+		if err != nil {
+			log.Fatalf("recover %s: %v", *dataDir, err)
+		}
+		recovered = res.Keys()
+		if recovered > 0 || res.Replayed > 0 {
+			fmt.Printf("recovered %d keys (%d sets; snapshot LSN %d + %d WAL records, torn tail: %v) in %v\n",
+				recovered, len(res.Sets), res.SnapshotLSN, res.Replayed, res.TornTail,
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *preload > 0 && recovered > 0 {
+		// A recovered keyspace already holds its data; preloading on top
+		// would double-count the benchmark set.
+		fmt.Printf("skipping -preload %d: recovered %d keys from %s\n", *preload, recovered, *dataDir)
+	} else if *preload > 0 {
 		keys := dataset.Generate(dataset.Rand8, *preload, 1)
 		vals := make([]uint64, len(keys))
 		for i := range vals {
@@ -72,10 +105,20 @@ func main() {
 		d := time.Since(start)
 		fmt.Printf("preloaded %d keys into 'bench' in %v (%.3f Mops/s)\n",
 			added, d.Round(time.Millisecond), float64(len(keys))/d.Seconds()/1e6)
+		if srv.Persistent() {
+			// Preload rides the bulk-load path, not the WAL: one snapshot
+			// makes it durable without logging a record per key.
+			if err := srv.Save(); err != nil {
+				log.Fatalf("post-preload snapshot: %v", err)
+			}
+		}
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if srv.Persistent() {
+		name = fmt.Sprintf("%s, persisted to %s, fsync %s", name, *dataDir, *fsync)
 	}
 	fmt.Printf("ctredis listening on %s (engine: %s, %d keyspace stripes)\n", bound, name, srv.Stripes())
 	sig := make(chan os.Signal, 1)

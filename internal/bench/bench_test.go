@@ -36,6 +36,9 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 			[]string{"CuckooTrie", "x2", "x4", "shard count", "router=hash", "GOMAXPROCS=", "sampled-x4", "az", "reddit", "balance"}},
 		{"load", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigLoad(b, o) },
 			[]string{"CuckooTrie", "hash-x2", "range-x4", "sampled-x2", "router", "GOMAXPROCS=", "az", "reddit", "balance"}},
+		{"persist", func(o Options, b *bytes.Buffer) { o.Keys, o.Ops = 3000, 3000; FigPersist(b, o) },
+			[]string{"CuckooTrie-sampled-x4", "load-mem", "snapshot", "recover", "wal-always", "replay",
+				"recovered balance", "GOMAXPROCS="}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -200,23 +203,87 @@ func TestRoutedEngineRegistry(t *testing.T) {
 	}
 }
 
-// TestJSONReports: the -json mode of the load and sharded figures emits
-// one parseable report carrying the banner fields (GOMAXPROCS, shard cap,
-// keys, seed) and per-cell rows, including sampled-router rows with a
-// balance figure — the contract that makes cross-machine runs diffable.
+// TestJSONReports: every figure with a -json mode emits one parseable
+// report carrying the banner fields (GOMAXPROCS, keys, seed) and per-cell
+// rows — the contract that makes cross-machine runs diffable. Per-figure
+// checks pin the axes that figure sweeps: sampled-router balance for the
+// shard figures, the workload/threads axes for the YCSB grids, the mode
+// axis for persist.
 func TestJSONReports(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke runs are not short")
 	}
-	for name, emit := range map[string]func(io.Writer, Options) error{
-		"load":    FigLoadJSON,
-		"sharded": FigShardedJSON,
-	} {
+	type check func(t *testing.T, rep Report)
+	wantSampled := func(t *testing.T, rep Report) {
+		t.Helper()
+		sampled := 0
+		for _, r := range rep.Rows {
+			if r.Router == "sampled" {
+				sampled++
+				if r.Shards != 2 || r.Balance <= 0 {
+					t.Fatalf("sampled row %+v: want shards=2 and a balance figure", r)
+				}
+			}
+		}
+		if sampled == 0 {
+			t.Fatal("no sampled-router rows in the report")
+		}
+		if rep.MaxShards != 2 {
+			t.Fatalf("MaxShards = %d, want 2", rep.MaxShards)
+		}
+	}
+	wantWorkloads := func(wls ...string) check {
+		return func(t *testing.T, rep Report) {
+			t.Helper()
+			seen := map[string]bool{}
+			for _, r := range rep.Rows {
+				if r.Workload == "" || r.Threads == 0 {
+					t.Fatalf("YCSB row %+v missing workload/threads axes", r)
+				}
+				seen[r.Workload] = true
+			}
+			for _, wl := range wls {
+				if !seen[wl] {
+					t.Fatalf("no rows for workload %s (saw %v)", wl, seen)
+				}
+			}
+		}
+	}
+	cases := map[string]struct {
+		emit  func(io.Writer, Options) error
+		check check
+	}{
+		"load":    {FigLoadJSON, wantSampled},
+		"sharded": {FigShardedJSON, wantSampled},
+		"fig7":    {Fig7JSON, wantWorkloads("LOAD", "A", "C")},
+		"fig8":    {Fig8JSON, wantWorkloads("LOAD", "A", "C")},
+		"fig10":   {Fig10JSON, wantWorkloads("E")},
+		"persist": {FigPersistJSON, func(t *testing.T, rep Report) {
+			t.Helper()
+			modes := map[string]bool{}
+			balance := 0.0
+			for _, r := range rep.Rows {
+				modes[r.Mode] = true
+				if r.Mode == "recover" && r.Engine == "CuckooTrie-sampled-x4" {
+					balance = r.Balance
+				}
+			}
+			for _, m := range persistModes {
+				if !modes[m] {
+					t.Fatalf("no rows for persist mode %s", m)
+				}
+			}
+			if balance <= 0 {
+				t.Fatal("sampled recovery row carries no balance (router not trained from the snapshot stream?)")
+			}
+		}},
+	}
+	for name, c := range cases {
 		t.Run(name, func(t *testing.T) {
 			o := tiny()
 			o.Keys, o.Ops, o.Shards = 2000, 2000, 2
 			var buf bytes.Buffer
-			if err := emit(&buf, o); err != nil {
+			if err := c.emit(&buf, o); err != nil {
 				t.Fatal(err)
 			}
 			var rep Report
@@ -226,27 +293,18 @@ func TestJSONReports(t *testing.T) {
 			if rep.Figure != name {
 				t.Fatalf("figure = %q, want %q", rep.Figure, name)
 			}
-			if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) || rep.Keys != 2000 || rep.Seed != 1 || rep.MaxShards != 2 {
+			if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) || rep.Keys != 2000 || rep.Seed != 1 {
 				t.Fatalf("banner fields = %+v", rep)
 			}
 			if len(rep.Rows) == 0 {
 				t.Fatal("no rows")
 			}
-			sampled := 0
 			for _, r := range rep.Rows {
 				if r.Mops <= 0 {
 					t.Fatalf("row %+v has no throughput", r)
 				}
-				if r.Router == "sampled" {
-					sampled++
-					if r.Shards != 2 || r.Balance <= 0 {
-						t.Fatalf("sampled row %+v: want shards=2 and a balance figure", r)
-					}
-				}
 			}
-			if sampled == 0 {
-				t.Fatal("no sampled-router rows in the report")
-			}
+			c.check(t, rep)
 		})
 	}
 }

@@ -185,7 +185,13 @@ func Fig7(w io.Writer, o Options) {
 	o.Fill()
 	header(w, "Figure 7: single-threaded YCSB throughput (Mops/s)",
 		"CuckooTrie leads on most dataset/workload pairs except az")
-	ycsbFigure(w, o, 1)
+	renderYCSB(w, ycsbPointReport("fig7", o, 1))
+}
+
+// Fig7JSON is Fig7's -json mode: the same measurements as one JSON report.
+func Fig7JSON(w io.Writer, o Options) error {
+	o.Fill()
+	return ycsbPointReport("fig7", o, 1).WriteJSON(w)
 }
 
 // Fig8 regenerates multithreaded YCSB point-operation throughput.
@@ -193,10 +199,52 @@ func Fig8(w io.Writer, o Options) {
 	o.Fill()
 	header(w, fmt.Sprintf("Figure 8: multithreaded (%d threads) YCSB throughput (Mops/s)", o.Threads),
 		"same shape as Figure 7 for scalable indexes; STX omitted")
-	ycsbFigure(w, o, o.Threads)
+	renderYCSB(w, ycsbPointReport("fig8", o, o.Threads))
 }
 
-func ycsbFigure(w io.Writer, o Options, threads int) {
+// Fig8JSON is Fig8's -json mode.
+func Fig8JSON(w io.Writer, o Options) error {
+	o.Fill()
+	return ycsbPointReport("fig8", o, o.Threads).WriteJSON(w)
+}
+
+// ycsbPointReport measures the point-operation YCSB grid (workload ×
+// dataset × engine at one thread count) into a Report — the one
+// measurement path behind both the text tables and -json, like the shard
+// figures'.
+func ycsbPointReport(figure string, o Options, threads int) Report {
+	rep := newReport(figure, o)
+	rep.MaxShards = 0 // no shard axis in the YCSB grids
+	for _, wl := range ycsb.PointWorkloads {
+		for _, e := range Engines() {
+			if threads > 1 && !e.Concurrent {
+				continue
+			}
+			for _, ds := range dataset.All {
+				keys := datasetKeys(ds, o.Keys, o.Seed)
+				rep.Rows = append(rep.Rows, Row{
+					Engine:   e.Name,
+					Dataset:  string(ds),
+					Workload: string(wl),
+					Threads:  threads,
+					Shards:   1,
+					Mops:     runWorkload(e, wl, keys, loadedFor(wl, len(keys)), o.Ops, threads, o.Seed),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// renderYCSB prints a YCSB point-operation report as the familiar
+// workload-by-workload tables (engines × datasets).
+func renderYCSB(w io.Writer, rep Report) {
+	rows := rowIndex(rep)
+	threads := 0
+	for _, r := range rep.Rows {
+		threads = r.Threads
+		break
+	}
 	for _, wl := range ycsb.PointWorkloads {
 		fmt.Fprintf(w, "\nYCSB-%s:\n%-12s", wl, "")
 		for _, ds := range dataset.All {
@@ -209,9 +257,9 @@ func ycsbFigure(w io.Writer, o Options, threads int) {
 			}
 			fmt.Fprintf(w, "%-12s", e.Name)
 			for _, ds := range dataset.All {
-				keys := datasetKeys(ds, o.Keys, o.Seed)
-				th := runWorkload(e, wl, keys, loadedFor(wl, len(keys)), o.Ops, threads, o.Seed)
-				fmt.Fprintf(w, "%10.3f", th)
+				r := rows[Row{Engine: e.Name, Dataset: string(ds), Workload: string(wl),
+					Threads: threads, Shards: 1}.axes()]
+				fmt.Fprintf(w, "%10.3f", r.Mops)
 			}
 			fmt.Fprintln(w)
 		}
@@ -257,12 +305,48 @@ func minInt(a, b int) int {
 	return b
 }
 
+// fig10Report measures the scan-heavy YCSB-E grid at 1 and o.Threads
+// threads into a Report.
+func fig10Report(o Options) Report {
+	rep := newReport("fig10", o)
+	rep.MaxShards = 0
+	threadCounts := []int{1}
+	if o.Threads > 1 {
+		threadCounts = append(threadCounts, o.Threads)
+	}
+	for _, threads := range threadCounts {
+		for _, e := range Engines() {
+			if threads > 1 && !e.Concurrent {
+				continue
+			}
+			for _, ds := range dataset.All {
+				keys := datasetKeys(ds, o.Keys, o.Seed)
+				rep.Rows = append(rep.Rows, Row{
+					Engine:   e.Name,
+					Dataset:  string(ds),
+					Workload: string(ycsb.E),
+					Threads:  threads,
+					Shards:   1,
+					Mops:     runWorkload(e, ycsb.E, keys, loadedFor(ycsb.E, len(keys)), minInt(o.Ops, 50_000), threads, o.Seed),
+				})
+			}
+		}
+	}
+	return rep
+}
+
 // Fig10 regenerates the scan-heavy YCSB-E throughput (single and multi).
 func Fig10(w io.Writer, o Options) {
 	o.Fill()
 	header(w, "Figure 10: YCSB-E scan throughput (Mops/s)",
 		"CuckooTrie below multi-key-leaf indexes when scan results are unused (§6.4)")
-	for _, threads := range []int{1, o.Threads} {
+	rep := fig10Report(o)
+	rows := rowIndex(rep)
+	threadCounts := []int{1}
+	if o.Threads > 1 {
+		threadCounts = append(threadCounts, o.Threads)
+	}
+	for _, threads := range threadCounts {
 		fmt.Fprintf(w, "\n%d thread(s):\n%-12s", threads, "")
 		for _, ds := range dataset.All {
 			fmt.Fprintf(w, "%10s", ds)
@@ -274,13 +358,19 @@ func Fig10(w io.Writer, o Options) {
 			}
 			fmt.Fprintf(w, "%-12s", e.Name)
 			for _, ds := range dataset.All {
-				keys := datasetKeys(ds, o.Keys, o.Seed)
-				th := runWorkload(e, ycsb.E, keys, loadedFor(ycsb.E, len(keys)), minInt(o.Ops, 50_000), threads, o.Seed)
-				fmt.Fprintf(w, "%10.3f", th)
+				r := rows[Row{Engine: e.Name, Dataset: string(ds), Workload: string(ycsb.E),
+					Threads: threads, Shards: 1}.axes()]
+				fmt.Fprintf(w, "%10.3f", r.Mops)
 			}
 			fmt.Fprintln(w)
 		}
 	}
+}
+
+// Fig10JSON is Fig10's -json mode.
+func Fig10JSON(w io.Writer, o Options) error {
+	o.Fill()
+	return fig10Report(o).WriteJSON(w)
 }
 
 // Fig11 regenerates memory overhead per key, including the paper's resize

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 
@@ -25,17 +26,31 @@ type Report struct {
 }
 
 // Row is one measured cell: which engine, on which dataset, under which
-// routing mode and shard count, at what throughput. Balance is the loaded
-// index's max/mean per-shard key-count ratio (1.0 = perfectly even; the
-// shard count = everything on one hot shard); zero when the cell is
-// unsharded or balance was not measured.
+// workload, routing mode, shard count, thread count and measurement mode,
+// at what throughput. Balance is the loaded index's max/mean per-shard
+// key-count ratio (1.0 = perfectly even; the shard count = everything on
+// one hot shard); zero when the cell is unsharded or balance was not
+// measured. Workload/Threads are set by the YCSB figures, Mode by the
+// persist figure ("load-mem", "snapshot", "recover", ...); axes a figure
+// does not sweep are omitted.
 type Row struct {
-	Engine  string  `json:"engine"`
-	Dataset string  `json:"dataset,omitempty"`
-	Router  string  `json:"router,omitempty"`
-	Shards  int     `json:"shards"`
-	Mops    float64 `json:"mops"`
-	Balance float64 `json:"balance_max_mean,omitempty"`
+	Engine   string  `json:"engine"`
+	Dataset  string  `json:"dataset,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Router   string  `json:"router,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
+	Shards   int     `json:"shards"`
+	Threads  int     `json:"threads,omitempty"`
+	Mops     float64 `json:"mops"`
+	Balance  float64 `json:"balance_max_mean,omitempty"`
+}
+
+// axes serializes every identifying axis of a row (everything but the
+// measurements) — the key the text renderers use to pick cells out of a
+// report.
+func (r Row) axes() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%d|%d",
+		r.Engine, r.Dataset, r.Workload, r.Router, r.Mode, r.Shards, r.Threads)
 }
 
 // newReport stamps the environment fields every figure shares.

@@ -21,18 +21,20 @@ var routedModes = []string{"hash", "range", "sampled"}
 // shard — exactly the regime the sampled router exists for.
 var skewedDatasets = []dataset.Name{dataset.AZ, dataset.Reddit}
 
-// rowIndex keys a Report's rows by (engine, dataset, router, shards) for
-// table rendering.
+// rowIndex keys a Report's rows by their identifying axes for table
+// rendering.
 func rowIndex(rep Report) map[string]Row {
 	rows := map[string]Row{}
 	for _, r := range rep.Rows {
-		rows[rowKey(r.Engine, r.Dataset, r.Router, r.Shards)] = r
+		rows[r.axes()] = r
 	}
 	return rows
 }
 
+// rowKey is the axes key of the shard figures' cells (no workload, mode or
+// thread axis).
 func rowKey(engine, ds, router string, shards int) string {
-	return fmt.Sprintf("%s|%s|%s|%d", engine, ds, router, shards)
+	return Row{Engine: engine, Dataset: ds, Router: router, Shards: shards}.axes()
 }
 
 // valsFor numbers a key stream 0..n-1, the value convention of every load.

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/index"
+	"repro/internal/persist"
 )
 
 // Options tailor the suite to an implementation's documented limits.
@@ -45,6 +46,7 @@ func Run(t *testing.T, mk func(capacity int) index.Index, opts Options) {
 		t.Run("ScanOrder", func(t *testing.T) { testScanOrder(t, mk, opts) })
 		t.Run("ScanBounds", func(t *testing.T) { testScanBounds(t, mk, opts) })
 		t.Run("CursorOrder", func(t *testing.T) { testCursorOrder(t, mk, opts) })
+		t.Run("PersistRecover", func(t *testing.T) { testPersistRecover(t, mk, opts) })
 	}
 	if !opts.NoDelete {
 		t.Run("Delete", func(t *testing.T) { testDelete(t, mk, opts) })
@@ -572,6 +574,93 @@ func testCursorOrder(t *testing.T, mk func(int) index.Index, opts Options) {
 	mid := []byte(want[len(want)/2])
 	if !c.Seek(mid) || !bytes.Equal(c.Key(), mid) {
 		t.Fatalf("mid-stream Seek(%x) landed on %x", mid, c.Key())
+	}
+}
+
+// testPersistRecover is the snapshot→recover equivalence case: a mixed
+// write stream is applied to a live index and logged to a WAL, a snapshot
+// is cut mid-stream, and the index persist.Recover rebuilds — snapshot
+// bulk-loaded (training any untrained sampled router from the stream),
+// then the WAL tail replayed — must be element-for-element identical to
+// the live index. Skipped for scanless engines: with no ordered cursor
+// there is nothing to serialize.
+func testPersistRecover(t *testing.T, mk func(int) index.Index, opts Options) {
+	dir := t.TempDir()
+	wal, err := persist.OpenWAL(dir, persist.WALOptions{Policy: persist.FsyncNo})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	live := mk(4096)
+	rng := rand.New(rand.NewSource(51))
+	var pool [][]byte
+	apply := func(n int) {
+		for i := 0; i < n; i++ {
+			switch {
+			case !opts.NoDelete && len(pool) > 0 && rng.Intn(5) == 0:
+				k := pool[rng.Intn(len(pool))]
+				if live.Delete(k) {
+					if _, err := wal.Append(persist.OpDelete, "", k, 0); err != nil {
+						t.Fatalf("WAL delete: %v", err)
+					}
+				}
+			default:
+				var k []byte
+				if len(pool) > 0 && rng.Intn(6) == 0 {
+					k = pool[rng.Intn(len(pool))] // update an existing key
+				} else {
+					k = opts.key(rng)
+					pool = append(pool, k)
+				}
+				v := uint64(rng.Intn(1 << 20))
+				mustSet(t, live, k, v)
+				if _, err := wal.Append(persist.OpSet, "", k, v); err != nil {
+					t.Fatalf("WAL set: %v", err)
+				}
+			}
+		}
+	}
+	apply(2500)
+	snapLSN := wal.LSN()
+	if _, err := persist.SaveIndex(dir, snapLSN, live); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	apply(800)
+	tail := int(wal.LSN() - snapLSN)
+	if err := wal.Close(); err != nil {
+		t.Fatalf("WAL close: %v", err)
+	}
+
+	got, res, err := persist.RecoverIndex(dir, mk)
+	if err != nil {
+		t.Fatalf("RecoverIndex: %v", err)
+	}
+	if res.SnapshotLSN != snapLSN || res.Replayed != tail || res.TornTail {
+		t.Fatalf("recovery stats = %+v, want snapshot %d + %d replayed, clean tail",
+			res, snapLSN, tail)
+	}
+	if got.Len() != live.Len() {
+		t.Fatalf("Len: recovered %d, live %d", got.Len(), live.Len())
+	}
+	for _, k := range pool {
+		lv, lok := live.Get(k)
+		gv, gok := got.Get(k)
+		if lok != gok || lv != gv {
+			t.Fatalf("Get(%x): recovered %d,%v live %d,%v", k, gv, gok, lv, lok)
+		}
+	}
+	lc, gc := live.NewCursor(), got.NewCursor()
+	defer lc.Close()
+	defer gc.Close()
+	lok, gok := lc.Seek(nil), gc.Seek(nil)
+	for lok && gok {
+		if !bytes.Equal(lc.Key(), gc.Key()) || lc.Value() != gc.Value() {
+			t.Fatalf("stream diverged: live %x=%d, recovered %x=%d",
+				lc.Key(), lc.Value(), gc.Key(), gc.Value())
+		}
+		lok, gok = lc.Next(), gc.Next()
+	}
+	if lok != gok {
+		t.Fatalf("stream lengths differ (live more: %v)", lok)
 	}
 }
 

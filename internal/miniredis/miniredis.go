@@ -8,7 +8,14 @@
 //
 // Commands: PING, ZADD key member value, ZSCORE key member,
 // ZMSCORE key member [member ...], ZRANGEBYLEX key start count,
-// ZREM key member, DBSIZE, FLUSHALL.
+// ZREM key member, DBSIZE, FLUSHALL, SAVE, BGSAVE.
+//
+// With EnablePersistence the server is durable (see internal/persist):
+// writes append to a segmented WAL after they apply, SAVE/BGSAVE cut
+// snapshots through the engines' ordered cursors — BGSAVE blocking
+// writers only for the all-stripe set-list capture — and boot-time
+// recovery bulk-loads the newest valid snapshot before replaying the WAL
+// tail.
 //
 // The server drains pipelined commands in batches: runs of ZSCOREs against
 // the same sorted set collapse into one MultiGet, so an MLP-aware engine
@@ -20,16 +27,20 @@
 package miniredis
 
 import (
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"io"
 	"net"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/index"
+	"repro/internal/persist"
 	"repro/internal/resp"
 	"repro/internal/sharded"
 )
@@ -95,8 +106,12 @@ func newKeyspace(n int) *keyspace {
 	return ks
 }
 
+func (ks *keyspace) stripeIdx(name string) int {
+	return int(maphash.String(ks.seed, name) & ks.mask)
+}
+
 func (ks *keyspace) stripeFor(name string) *stripe {
-	return &ks.stripes[maphash.String(ks.seed, name)&ks.mask]
+	return &ks.stripes[ks.stripeIdx(name)]
 }
 
 // get returns the named set, creating it with mk on first use.
@@ -118,38 +133,111 @@ func (ks *keyspace) get(name string, mk func() index.Index) index.Index {
 	return ix
 }
 
-// totalLen sums the key counts of every set (DBSIZE).
+// lockAll / rlockAll acquire every stripe in index order — one global
+// order, so keyspace-wide operations (FLUSHALL, DBSIZE, BGSAVE's set
+// collection) can never deadlock against each other and always observe a
+// CONSISTENT set list: before the fix, flush cleared stripe-by-stripe
+// while a concurrent snapshot or DBSIZE walked them, so either could see
+// half the keyspace flushed and half not.
+func (ks *keyspace) lockAll() {
+	for i := range ks.stripes {
+		ks.stripes[i].mu.Lock()
+	}
+}
+
+func (ks *keyspace) unlockAll() {
+	for i := range ks.stripes {
+		ks.stripes[i].mu.Unlock()
+	}
+}
+
+func (ks *keyspace) rlockAll() {
+	for i := range ks.stripes {
+		ks.stripes[i].mu.RLock()
+	}
+}
+
+func (ks *keyspace) runlockAll() {
+	for i := range ks.stripes {
+		ks.stripes[i].mu.RUnlock()
+	}
+}
+
+// totalLen sums the key counts of every set (DBSIZE), against a consistent
+// set list: all stripes are read-locked before any is summed, so a racing
+// FLUSHALL is observed entirely or not at all.
 func (ks *keyspace) totalLen() int {
+	ks.rlockAll()
+	defer ks.runlockAll()
 	total := 0
 	for i := range ks.stripes {
-		st := &ks.stripes[i]
-		st.mu.RLock()
-		for _, ix := range st.sets {
+		for _, ix := range ks.stripes[i].sets {
 			total += ix.Len()
 		}
-		st.mu.RUnlock()
 	}
 	return total
 }
 
-// flush drops every set (FLUSHALL).
+// flush drops every set (FLUSHALL), atomically with respect to every other
+// keyspace-wide operation: all stripes are write-locked before any is
+// cleared.
 func (ks *keyspace) flush() {
+	ks.lockAll()
+	defer ks.unlockAll()
 	for i := range ks.stripes {
-		st := &ks.stripes[i]
-		st.mu.Lock()
-		st.sets = make(map[string]index.Index)
-		st.mu.Unlock()
+		ks.stripes[i].sets = make(map[string]index.Index)
 	}
+}
+
+// snapshotSets collects every set's name, cursor and length under the
+// all-stripe read lock — the only moment BGSAVE blocks writers (and only
+// those resolving a set name). Sets are returned in name order so
+// snapshots of the same state are byte-identical.
+func (ks *keyspace) snapshotSets() []persist.SetSnapshot {
+	ks.rlockAll()
+	defer ks.runlockAll()
+	var sets []persist.SetSnapshot
+	for i := range ks.stripes {
+		for name, ix := range ks.stripes[i].sets {
+			sets = append(sets, persist.SetSnapshot{
+				Set:     name,
+				Cursor:  ix.NewCursor(),
+				LenHint: ix.Len(),
+			})
+		}
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Set < sets[j].Set })
+	return sets
 }
 
 // Server is the mini-Redis server.
 type Server struct {
-	create func() index.Index // factory bound to the capacity hint once
-	ks     *keyspace
-	ln     net.Listener
-	wg     sync.WaitGroup
-	serial bool // single-threaded command execution (Redis's model)
-	cmdMu  sync.Mutex
+	create   func() index.Index // factory bound to the capacity hint once
+	factory  EngineFactory
+	capacity int
+	ks       *keyspace
+	ln       net.Listener
+	wg       sync.WaitGroup
+	serial   bool // single-threaded command execution (Redis's model)
+	cmdMu    sync.Mutex
+
+	// Persistence (nil/zero when the server is memory-only).
+	wal       *persist.WAL
+	dataDir   string
+	snapEvery int          // logged writes between automatic BGSAVEs
+	sinceSave atomic.Int64 // logged writes since the last snapshot
+	saving    atomic.Bool  // one BGSAVE at a time
+	saveMu    sync.Mutex   // serializes snapshot cuts (SAVE vs BGSAVE)
+	// quiesceSaves: the engine is not concurrent-safe, so snapshot cursors
+	// cannot run against live writers — saves must hold cmdMu (taken
+	// BEFORE saveMu; dispatch already holds cmdMu when it calls save, so
+	// the order is fixed as cmdMu → saveMu everywhere).
+	quiesceSaves bool
+	// writeMus (persistent concurrent servers only) order apply+log per
+	// keyspace stripe; see lockWrite.
+	writeMus  []sync.Mutex
+	bgWg      sync.WaitGroup
+	bgSaveErr error // last background save failure, under saveMu
 }
 
 // NewServer creates a server whose sorted sets use the given engine.
@@ -159,14 +247,190 @@ type Server struct {
 // serializes connections on a single lock.
 func NewServer(factory EngineFactory, capacityHint int, serial bool) *Server {
 	return &Server{
-		create: func() index.Index { return factory(capacityHint) },
-		ks:     newKeyspace(max(8, runtime.GOMAXPROCS(0))),
-		serial: serial,
+		create:   func() index.Index { return factory(capacityHint) },
+		factory:  factory,
+		capacity: capacityHint,
+		ks:       newKeyspace(max(8, runtime.GOMAXPROCS(0))),
+		serial:   serial,
 	}
 }
 
 // Stripes reports the power-of-two keyspace stripe count.
 func (s *Server) Stripes() int { return len(s.ks.stripes) }
+
+// ErrNoPersistence reports a SAVE/BGSAVE against a memory-only server.
+var ErrNoPersistence = errors.New("miniredis: persistence not enabled")
+
+// EnablePersistence makes the server durable: it recovers dir's newest
+// valid snapshot plus WAL tail into the keyspace (each set bulk-loaded, so
+// sharded engines ride the partitioned ingest and untrained sampled
+// routers train from the snapshot stream), then opens the WAL for the
+// write path. ZADD/ZREM/FLUSHALL append a record after they apply;
+// snapshotEvery > 0 triggers a background snapshot every that many logged
+// writes. Must be called before Listen. The returned Result reports what
+// was recovered.
+//
+// Preload bypasses the WAL by design (logging a bulk load record-by-record
+// would forfeit the partitioned ingest); call Save after preloading to
+// make the loaded keys durable.
+func (s *Server) EnablePersistence(dir string, policy persist.FsyncPolicy, snapshotEvery int) (*persist.Result, error) {
+	if s.ln != nil {
+		return nil, errors.New("miniredis: enable persistence before Listen")
+	}
+	if s.wal != nil {
+		return nil, errors.New("miniredis: persistence already enabled")
+	}
+	res, err := persist.Recover(dir, func(set string, hint int) index.Index {
+		if hint <= 0 {
+			hint = s.capacity
+		}
+		return s.factory(hint)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for name, ix := range res.Sets {
+		st := s.ks.stripeFor(name)
+		st.mu.Lock()
+		st.sets[name] = ix
+		st.mu.Unlock()
+	}
+	// FloorLSN: a durable snapshot can be ahead of an unsynced WAL tail
+	// after a crash; new LSNs must start past everything recovery used, or
+	// the next recovery's LSN filter would skip acknowledged writes.
+	wal, err := persist.OpenWAL(dir, persist.WALOptions{Policy: policy, FloorLSN: res.LastLSN})
+	if err != nil {
+		return nil, err
+	}
+	s.wal, s.dataDir, s.snapEvery = wal, dir, snapshotEvery
+	// Probe the engine once: every set comes from the same factory, so one
+	// throwaway instance says whether snapshots may run against live
+	// writers or must quiesce the command loop first.
+	s.quiesceSaves = s.serial && !index.IsConcurrent(s.factory(1))
+	if !s.serial {
+		// Concurrent command execution needs explicit write ordering: the
+		// WAL replays in LSN order, so two racing writes to the same set
+		// must log in the order they applied or recovery rebuilds a state
+		// the live server never exposed. Serial mode gets this from cmdMu.
+		s.writeMus = make([]sync.Mutex, len(s.ks.stripes))
+	}
+	return res, nil
+}
+
+// lockWrite makes apply+log atomic for one set's stripe on a persistent
+// concurrent server (no-op otherwise — serial servers order writes via
+// cmdMu, memory-only servers have no log to keep in order). It returns the
+// unlock, or nil when no locking is needed.
+func (s *Server) lockWrite(set string) func() {
+	if s.writeMus == nil {
+		return nil
+	}
+	mu := &s.writeMus[s.ks.stripeIdx(set)]
+	mu.Lock()
+	return mu.Unlock
+}
+
+// lockAllWrites is lockWrite for keyspace-wide writes (FLUSHALL): every
+// stripe's write order is pinned around the flush-and-log pair, so no
+// racing ZADD can apply to a pre-flush index and log after the OpFlushAll
+// record (which would resurrect on recovery a key the live server lost).
+func (s *Server) lockAllWrites() func() {
+	if s.writeMus == nil {
+		return nil
+	}
+	for i := range s.writeMus {
+		s.writeMus[i].Lock()
+	}
+	return func() {
+		for i := range s.writeMus {
+			s.writeMus[i].Unlock()
+		}
+	}
+}
+
+// Persistent reports whether the server has a data directory attached.
+func (s *Server) Persistent() bool { return s.wal != nil }
+
+// logWrite appends one record for an applied write and drives the
+// automatic snapshot cadence. A nil WAL (memory-only server) is a no-op.
+func (s *Server) logWrite(op persist.Op, set string, key []byte, val uint64) error {
+	if s.wal == nil {
+		return nil
+	}
+	if _, err := s.wal.Append(op, set, key, val); err != nil {
+		return err
+	}
+	if s.snapEvery > 0 && s.sinceSave.Add(1) >= int64(s.snapEvery) {
+		s.sinceSave.Store(0)
+		s.BGSave()
+	}
+	return nil
+}
+
+// Save cuts a snapshot in the foreground: the keyspace's set list is
+// captured under the all-stripe lock at the WAL's current LSN, every set
+// is serialized through its cursor into snap-<lsn>.snap (temp file +
+// rename, so a crash mid-save never damages the previous snapshot), the
+// MANIFEST is repointed, and WAL segments the snapshot fully covers are
+// removed. Writers are only blocked for the stripe acquisition — cursor
+// draining runs against the live (concurrent-safe) engines.
+func (s *Server) Save() error { return s.save(false) }
+
+// save implements Save; cmdLocked says the calling goroutine already
+// holds cmdMu (a SAVE command dispatched in serial mode).
+func (s *Server) save(cmdLocked bool) error {
+	if s.wal == nil {
+		return ErrNoPersistence
+	}
+	if s.quiesceSaves && !cmdLocked {
+		// A non-concurrent-safe engine cannot be iterated while writers
+		// mutate it: quiesce commands for the duration (Redis without
+		// fork(2) semantics). Concurrent-safe engines skip this. cmdMu is
+		// always taken before saveMu.
+		s.cmdMu.Lock()
+		defer s.cmdMu.Unlock()
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	// The LSN is captured BEFORE the cursors: every record ≤ lsn was
+	// applied before this point (writes log after they apply), so the
+	// cursors see it; records > lsn replay idempotently on top whether or
+	// not the cursors caught them.
+	lsn := s.wal.LSN()
+	sets := s.ks.snapshotSets()
+	if _, err := persist.WriteSnapshot(s.dataDir, lsn, sets); err != nil {
+		return err
+	}
+	s.sinceSave.Store(0)
+	return persist.RemoveObsolete(s.dataDir, lsn)
+}
+
+// BGSave starts Save on a background goroutine, at most one at a time.
+// It reports whether a new save was started; a failure is retrievable via
+// LastBGSaveError. Close waits for an in-flight background save.
+func (s *Server) BGSave() bool {
+	if s.wal == nil || !s.saving.CompareAndSwap(false, true) {
+		return false
+	}
+	s.bgWg.Add(1)
+	go func() {
+		defer s.bgWg.Done()
+		defer s.saving.Store(false)
+		err := s.save(false)
+		s.saveMu.Lock()
+		s.bgSaveErr = err
+		s.saveMu.Unlock()
+	}()
+	return true
+}
+
+// LastBGSaveError returns the most recent background save's error (nil
+// after a success).
+func (s *Server) LastBGSaveError() error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	return s.bgSaveErr
+}
 
 // Preload bulk-loads keys[i] → vals[i] into the named sorted set through
 // the engine's bulk-load path (index.BulkLoad) — the partitioned
@@ -189,12 +453,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the server and waits for connections to drain.
+// Close stops the server, waits for connections and any background save
+// to drain, and cleanly closes the WAL (a clean close loses nothing under
+// any fsync policy).
 func (s *Server) Close() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
 	s.wg.Wait()
+	s.bgWg.Wait()
+	if s.wal != nil {
+		s.wal.Close()
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -332,9 +602,19 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 			w.WriteError("value is not an integer")
 			return
 		}
+		if unlock := s.lockWrite(string(cmd[1])); unlock != nil {
+			defer unlock()
+		}
 		added, err := s.set(string(cmd[1])).Set(cmd[2], v)
 		if err != nil {
 			w.WriteError(err.Error())
+			return
+		}
+		// The write is logged after it applied (AOF-style); a WAL failure
+		// is reported instead of acknowledging a write that cannot become
+		// durable.
+		if err := s.logWrite(persist.OpSet, string(cmd[1]), cmd[2], v); err != nil {
+			w.WriteError("persistence: " + err.Error())
 			return
 		}
 		// Redis semantics: reply 1 only for a newly added member, 0 when an
@@ -378,7 +658,17 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 			w.WriteError("wrong number of arguments for ZREM")
 			return
 		}
+		if unlock := s.lockWrite(string(cmd[1])); unlock != nil {
+			defer unlock()
+		}
 		if s.set(string(cmd[1])).Delete(cmd[2]) {
+			// Only a removal that happened is logged: replaying a delete of
+			// a key that was never there is harmless, but not logging one
+			// that was would resurrect the key on recovery.
+			if err := s.logWrite(persist.OpDelete, string(cmd[1]), cmd[2], 0); err != nil {
+				w.WriteError("persistence: " + err.Error())
+				return
+			}
 			w.WriteInt(1)
 		} else {
 			w.WriteInt(0)
@@ -409,8 +699,33 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 	case "DBSIZE":
 		w.WriteInt(int64(s.ks.totalLen()))
 	case "FLUSHALL":
+		if unlock := s.lockAllWrites(); unlock != nil {
+			defer unlock()
+		}
 		s.ks.flush()
+		if err := s.logWrite(persist.OpFlushAll, "", nil, 0); err != nil {
+			w.WriteError("persistence: " + err.Error())
+			return
+		}
 		w.WriteSimple("OK")
+	case "SAVE":
+		// Foreground snapshot; in serial mode cmdMu is already held by this
+		// dispatch, so save must not retake it.
+		if err := s.save(s.serial); err != nil {
+			w.WriteError(err.Error())
+			return
+		}
+		w.WriteSimple("OK")
+	case "BGSAVE":
+		if !s.Persistent() {
+			w.WriteError(ErrNoPersistence.Error())
+			return
+		}
+		if s.BGSave() {
+			w.WriteSimple("Background saving started")
+		} else {
+			w.WriteSimple("Background save already in progress")
+		}
 	default:
 		w.WriteError(fmt.Sprintf("unknown command '%s'", cmd[0]))
 	}

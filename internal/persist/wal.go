@@ -1,0 +1,540 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WAL segment layout:
+//
+//	header (16 bytes, unframed): magic "CTWAL1\x00\x00" + first LSN (u64 LE)
+//	record frame: op (u8), LSN (u64 LE), uvarint(len(set)), set,
+//	              uvarint(len(key)), key, [val (u64 LE) when op == OpSet]
+//
+// Segments are named wal-<firstLSN 16hex>.log and rotate at SegmentBytes;
+// LSNs increase by one per record across segment boundaries, so segment i
+// covers exactly [first_i, first_{i+1}) and compaction can drop a segment
+// by comparing its successor's first LSN against the snapshot LSN without
+// reading it.
+
+const (
+	walMagic     = "CTWAL1\x00\x00"
+	walHeaderLen = 16
+
+	// DefaultSegmentBytes rotates WAL segments at 64 MiB: large enough
+	// that rotation cost is noise, small enough that compaction after a
+	// snapshot reclaims space promptly.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// ErrWALClosed reports an append to a closed WAL.
+var ErrWALClosed = errors.New("persist: WAL closed")
+
+func walName(firstLSN uint64) string { return fmt.Sprintf("wal-%016x.log", firstLSN) }
+
+func parseWalName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	return lsn, err == nil
+}
+
+// WALOptions configure OpenWAL. The zero value means FsyncEverySec and
+// DefaultSegmentBytes.
+type WALOptions struct {
+	Policy FsyncPolicy
+	// SegmentBytes is the rotation threshold; 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// FloorLSN guarantees the first LSN assigned after open is strictly
+	// greater than it. Pass the recovery Result's LastLSN: a durable
+	// snapshot can be AHEAD of the on-disk WAL after a crash (the snapshot
+	// fsyncs immediately; an everysec/no-policy WAL tail may not have made
+	// it), and deriving the next LSN from the WAL tail alone would then
+	// reuse LSNs the snapshot already covers — acknowledged post-restart
+	// writes would be silently skipped by the next recovery's LSN filter.
+	FloorLSN uint64
+}
+
+// WAL is a segmented append-only log. Appends are safe for concurrent use;
+// each is assigned the next LSN under the WAL's mutex, so LSN order is the
+// order records reach the log.
+type WAL struct {
+	mu      sync.Mutex
+	dir     string
+	opts    WALOptions
+	f       *os.File
+	bw      *bufio.Writer
+	written int64 // bytes in the current segment, header included
+	next    uint64
+	encBuf  []byte
+	closed  bool
+	syncErr error // sticky background fsync failure, surfaced on Append
+
+	stop chan struct{} // everysec flusher shutdown
+	done chan struct{}
+}
+
+// OpenWAL opens (creating if needed) the WAL in dir for appending. An
+// existing newest segment is scanned to find the next LSN, and a torn tail
+// left by a crash is truncated away — appending after a torn record would
+// hide everything behind it from replay, so the write path repairs what
+// the read path (Recover) merely tolerates.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opts: opts, next: 1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if w.next <= opts.FloorLSN {
+			w.next = opts.FloorLSN + 1
+		}
+		if err := w.createSegment(w.next); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := w.adoptSegment(segs[len(segs)-1]); err != nil {
+			return nil, err
+		}
+		if w.next <= opts.FloorLSN {
+			// LSNs may jump forward within the adopted segment; the segment
+			// still covers [its first LSN, the next segment's), so replay
+			// and compaction are unaffected by the gap.
+			w.next = opts.FloorLSN + 1
+		}
+	}
+	if opts.Policy == FsyncEverySec {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// adoptSegment repairs and reopens the newest existing segment for append:
+// it scans the records to find the last assigned LSN, truncates anything
+// after the last intact frame, and positions the writer at the new end.
+func (w *WAL) adoptSegment(seg walSegment) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, seg.name), os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	first, lastLSN, goodOff, _, err := scanSegment(f, seg.lsn, nil)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if goodOff < walHeaderLen {
+		// Header itself missing or torn: rewrite it in place.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return err
+		}
+		var hdr [walHeaderLen]byte
+		copy(hdr[:8], walMagic)
+		binary.LittleEndian.PutUint64(hdr[8:], seg.lsn)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return err
+		}
+		goodOff = walHeaderLen
+		first, lastLSN = seg.lsn, seg.lsn-1
+	} else if err := f.Truncate(goodOff); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	w.next = lastLSN + 1
+	if lastLSN < first {
+		w.next = first // empty segment: the header names the next LSN
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.written = goodOff
+	return nil
+}
+
+// createSegment starts a fresh segment whose first record will be firstLSN.
+func (w *WAL) createSegment(firstLSN uint64) error {
+	path := filepath.Join(w.dir, walName(firstLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], firstLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.written = walHeaderLen
+	return nil
+}
+
+// Append logs one record and returns its LSN. Durability depends on the
+// fsync policy; rotation to a new segment happens after the append that
+// crosses SegmentBytes, so a record never spans segments.
+func (w *WAL) Append(op Op, set string, key []byte, val uint64) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.syncErr != nil {
+		return 0, w.syncErr
+	}
+	lsn := w.next
+	p := w.encBuf[:0]
+	p = append(p, byte(op))
+	p = binary.LittleEndian.AppendUint64(p, lsn)
+	p = appendUvarint(p, uint64(len(set)))
+	p = append(p, set...)
+	p = appendUvarint(p, uint64(len(key)))
+	p = append(p, key...)
+	if op == OpSet {
+		p = binary.LittleEndian.AppendUint64(p, val)
+	}
+	w.encBuf = p
+	if err := writeFrame(w.bw, p); err != nil {
+		return 0, err
+	}
+	w.next++
+	w.written += frameSize(len(p))
+	if w.opts.Policy == FsyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if w.written >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the current segment (flush + fsync, so the boundary
+// is durable under every policy) and starts the next one.
+func (w *WAL) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return w.createSegment(w.next)
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Sync flushes buffered appends and fsyncs the current segment.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	return w.syncLocked()
+}
+
+// LSN returns the last assigned LSN (0 before the first append).
+func (w *WAL) LSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next - 1
+}
+
+// Dir returns the WAL's data directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Close flushes, fsyncs and closes the WAL. A cleanly closed WAL loses
+// nothing under any fsync policy.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.bw.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.mu.Unlock()
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	return err
+}
+
+// flushLoop is the FsyncEverySec background flusher.
+func (w *WAL) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed {
+				if err := w.syncLocked(); err != nil && w.syncErr == nil {
+					// Surface the failure on the next Append instead of
+					// silently accepting writes that cannot become durable.
+					w.syncErr = err
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+type walSegment struct {
+	lsn  uint64
+	name string
+}
+
+// listSegments returns dir's WAL segments ascending by first LSN.
+func listSegments(dir string) ([]walSegment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []walSegment
+	for _, e := range ents {
+		if lsn, ok := parseWalName(e.Name()); ok {
+			segs = append(segs, walSegment{lsn: lsn, name: e.Name()})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].lsn < segs[j].lsn })
+	return segs, nil
+}
+
+// decodeRecord parses one WAL frame payload into rec. The key aliases the
+// payload buffer and is valid only until the next frame is read.
+func decodeRecord(payload []byte, rec *Record) error {
+	if len(payload) < 9 {
+		return errTorn
+	}
+	op := Op(payload[0])
+	if op != OpSet && op != OpDelete && op != OpFlushAll {
+		return errTorn
+	}
+	rec.Op = op
+	rec.LSN = binary.LittleEndian.Uint64(payload[1:9])
+	rest := payload[9:]
+	setLen, rest, err := takeUvarint(rest)
+	if err != nil {
+		return err
+	}
+	setB, rest, err := takeBytes(rest, setLen)
+	if err != nil {
+		return err
+	}
+	rec.Set = string(setB)
+	keyLen, rest, err := takeUvarint(rest)
+	if err != nil {
+		return err
+	}
+	rec.Key, rest, err = takeBytes(rest, keyLen)
+	if err != nil {
+		return err
+	}
+	rec.Val = 0
+	if op == OpSet {
+		if rec.Val, _, err = takeU64(rest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment reads a segment from its start, calling apply (when non-nil)
+// for each intact record. It returns the header's first LSN, the last
+// intact record's LSN (first-1 when there are none), the byte offset just
+// past the last intact frame, and whether the scan stopped at a torn frame
+// rather than a clean end. A missing or damaged header (including a first
+// LSN disagreeing with the filename) reports torn with goodOff 0. apply
+// errors abort the scan and are returned verbatim.
+func scanSegment(r io.Reader, nameLSN uint64, apply func(*Record) error) (first, last uint64, goodOff int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [walHeaderLen]byte
+	if _, herr := io.ReadFull(br, hdr[:]); herr != nil {
+		return nameLSN, nameLSN - 1, 0, true, nil
+	}
+	if !bytes.Equal(hdr[:8], []byte(walMagic)) {
+		return nameLSN, nameLSN - 1, 0, true, nil
+	}
+	first = binary.LittleEndian.Uint64(hdr[8:])
+	if first != nameLSN {
+		return nameLSN, nameLSN - 1, 0, true, nil
+	}
+	return scanSegmentRecords(br, first, apply)
+}
+
+// scanSegmentRecords is scanSegment after the header: it decodes frames
+// until a clean EOF or a torn frame.
+func scanSegmentRecords(br io.Reader, first uint64, apply func(*Record) error) (_, last uint64, goodOff int64, torn bool, err error) {
+	fr := frameReader{r: br}
+	last = first - 1
+	var rec Record
+	for {
+		payload, ferr := fr.next()
+		if ferr == io.EOF {
+			return first, last, walHeaderLen + fr.off, false, nil
+		}
+		if ferr != nil {
+			return first, last, walHeaderLen + fr.off, true, nil
+		}
+		if derr := decodeRecord(payload, &rec); derr != nil {
+			// An intact frame with an undecodable payload: same trust level
+			// as a CRC failure — treat as the end of usable data.
+			return first, last, walHeaderLen + fr.off - frameSize(len(payload)), true, nil
+		}
+		last = rec.LSN
+		if apply != nil {
+			if aerr := apply(&rec); aerr != nil {
+				return first, last, walHeaderLen + fr.off, false, aerr
+			}
+		}
+	}
+}
+
+// replayWAL applies every record with LSN > after, in LSN order, across
+// all segments in dir. A torn tail on the NEWEST segment is the normal
+// crash residue and ends replay cleanly; a torn frame in any older segment
+// means records known to exist (the next segment's) would be skipped, so
+// it is reported as ErrCorrupt instead. Segments entirely at or below
+// `after` are skipped without being read.
+func replayWAL(dir string, after uint64, apply func(*Record) error) (last uint64, replayed int, torn bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if len(segs) > 0 && segs[0].lsn > after+1 {
+		// The earliest surviving segment starts beyond what the snapshot
+		// covers: records in (after, segs[0].lsn) existed once (compaction
+		// only drops a segment when a snapshot at or past its end is
+		// durable) but are in neither the snapshot we recovered nor the
+		// WAL — typically the newest snapshot was damaged and recovery
+		// fell back past what compaction assumed. Serving the survivors as
+		// if they were everything would silently report massive data loss
+		// as success.
+		return after, 0, false, fmt.Errorf(
+			"%w: WAL starts at LSN %d but recovery has state only through LSN %d (snapshot covering the gap is missing or invalid)",
+			ErrCorrupt, segs[0].lsn, after)
+	}
+	last = after
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].lsn <= after+1 {
+			continue // every record in this segment is ≤ after
+		}
+		f, err := os.Open(filepath.Join(dir, seg.name))
+		if err != nil {
+			return last, replayed, false, err
+		}
+		_, segLast, _, segTorn, err := scanSegment(f, seg.lsn, func(rec *Record) error {
+			if rec.LSN <= after {
+				return nil
+			}
+			if err := apply(rec); err != nil {
+				return err
+			}
+			replayed++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return last, replayed, false, err
+		}
+		if segLast > last {
+			last = segLast
+		}
+		if segTorn {
+			if i != len(segs)-1 {
+				return last, replayed, false, fmt.Errorf(
+					"%w: WAL segment %s has a torn frame but newer segments exist", ErrCorrupt, seg.name)
+			}
+			return last, replayed, true, nil
+		}
+	}
+	return last, replayed, false, nil
+}
+
+// RemoveObsolete deletes snapshots older than keepLSN and WAL segments
+// whose every record is already covered by the snapshot at keepLSN (the
+// segment's successor starts at or below keepLSN+1). The newest segment is
+// always kept — it is the live append target. Called after a successful
+// snapshot; failures are returned but the store stays correct without
+// compaction, only larger.
+func RemoveObsolete(dir string, keepLSN uint64) error {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, lsn := range snaps {
+		if lsn < keepLSN {
+			if err := os.Remove(filepath.Join(dir, snapName(lsn))); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].lsn <= keepLSN+1 {
+			if err := os.Remove(filepath.Join(dir, seg.name)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
