@@ -20,10 +20,10 @@ func main() {
 	threads := flag.Int("threads", 0, "threads for multithreaded figures (default: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "max shard count for the sharded figure (default: GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "dataset/workload seed")
-	jsonOut := flag.Bool("json", false, "emit the figure as one JSON report (banner fields + rows) instead of text; supported: sharded, load, persist, fig7, fig8, fig10")
+	jsonOut := flag.Bool("json", false, "emit the figure as one JSON report (banner fields + rows) instead of text; supported: sharded, load, persist, repl, fig7, fig8, fig10")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ctbench [flags] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget sharded load persist all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table3 ablation multiget sharded load persist repl all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,13 +37,14 @@ func main() {
 			"sharded": func() error { return bench.FigShardedJSON(os.Stdout, o) },
 			"load":    func() error { return bench.FigLoadJSON(os.Stdout, o) },
 			"persist": func() error { return bench.FigPersistJSON(os.Stdout, o) },
+			"repl":    func() error { return bench.FigReplJSON(os.Stdout, o) },
 			"fig7":    func() error { return bench.Fig7JSON(os.Stdout, o) },
 			"fig8":    func() error { return bench.Fig8JSON(os.Stdout, o) },
 			"fig10":   func() error { return bench.Fig10JSON(os.Stdout, o) },
 		}
 		run, ok := jsonRunners[flag.Arg(0)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ctbench: -json supports only: sharded, load, persist, fig7, fig8, fig10 (got %q)\n", flag.Arg(0))
+			fmt.Fprintf(os.Stderr, "ctbench: -json supports only: sharded, load, persist, repl, fig7, fig8, fig10 (got %q)\n", flag.Arg(0))
 			os.Exit(2)
 		}
 		if err := run(); err != nil {
@@ -69,11 +70,12 @@ func main() {
 		"sharded":  func() { bench.FigSharded(os.Stdout, o) },
 		"load":     func() { bench.FigLoad(os.Stdout, o) },
 		"persist":  func() { bench.FigPersist(os.Stdout, o) },
+		"repl":     func() { bench.FigRepl(os.Stdout, o) },
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		for _, k := range []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget", "sharded", "load", "persist"} {
+			"fig10", "fig11", "fig12", "fig13", "table3", "ablation", "multiget", "sharded", "load", "persist", "repl"} {
 			runners[k]()
 		}
 		return

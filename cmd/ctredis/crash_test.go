@@ -118,3 +118,61 @@ func TestCrashRecoverySmoke(t *testing.T) {
 		t.Fatalf("post-recovery ZADD = %v", r)
 	}
 }
+
+// TestReplicationCrashDrill is the replication drill CI runs: a persistent
+// primary and a -replicaof read replica as separate processes, 500 writes
+// each confirmed replicated with WAIT 1, then SIGKILL the primary — the
+// replica must still serve every key on its own.
+func TestReplicationCrashDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	bin := buildCtredis(t)
+	dir := t.TempDir()
+
+	prim, paddr := startCtredis(t, bin, "-data-dir", dir, "-fsync", "no")
+	defer func() {
+		prim.Process.Kill()
+		prim.Wait()
+	}()
+	rep, raddr := startCtredis(t, bin, "-replicaof", paddr)
+	defer func() {
+		rep.Process.Kill()
+		rep.Wait()
+	}()
+
+	cl, err := miniredis.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 500
+	for i := 0; i < writes; i++ {
+		r, err := cl.Do([]byte("ZADD"), []byte(fmt.Sprintf("set%d", i%8)),
+			[]byte(fmt.Sprintf("m%05d", i)), []byte(fmt.Sprint(i)))
+		if err != nil || r != int64(1) {
+			t.Fatalf("ZADD #%d = %v, %v", i, r, err)
+		}
+	}
+	if r, err := cl.Do([]byte("WAIT"), []byte("1"), []byte("30000")); err != nil || r != int64(1) {
+		t.Fatalf("WAIT 1 = %v, %v", r, err)
+	}
+	cl.Close()
+
+	// SIGKILL the primary: the replica keeps serving what it applied.
+	if err := prim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	prim.Wait()
+
+	rcl, err := miniredis.Dial(raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcl.Close()
+	if r, err := rcl.Do([]byte("DBSIZE")); err != nil || r != int64(writes) {
+		t.Fatalf("replica DBSIZE after primary crash = %v, %v (want %d)", r, err, writes)
+	}
+	if r, err := rcl.Do([]byte("ZSCORE"), []byte("set3"), []byte("m00123")); err != nil || string(r.([]byte)) != "123" {
+		t.Fatalf("replica ZSCORE = %v, %v", r, err)
+	}
+}

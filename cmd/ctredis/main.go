@@ -10,6 +10,13 @@
 // or -snapshot-every N — cut compacting snapshots:
 //
 //	ctredis -data-dir /var/lib/ctredis -fsync everysec -snapshot-every 100000
+//
+// With -replicaof the server boots as a memory-only read replica: it syncs
+// from the primary (full snapshot stream or partial WAL tail), follows the
+// replicated log, answers reads, and rejects client writes with -READONLY.
+// REPLICAOF NO ONE promotes it back to a writable standalone:
+//
+//	ctredis -addr :6381 -replicaof 127.0.0.1:6380
 package main
 
 import (
@@ -43,7 +50,15 @@ func main() {
 	dataDir := flag.String("data-dir", "", "enable persistence: recover this directory on boot (snapshot + WAL replay) and log writes to it")
 	fsync := flag.String("fsync", "everysec", "WAL fsync policy with -data-dir: always|everysec|no")
 	snapEvery := flag.Int("snapshot-every", 0, "cut a background snapshot every N logged writes (0 disables; SAVE/BGSAVE always work)")
+	replicaOf := flag.String("replicaof", "", "replicate from this primary (host:port); the server is a memory-only read replica")
 	flag.Parse()
+
+	if *replicaOf != "" && *dataDir != "" {
+		log.Fatal("-replicaof and -data-dir are mutually exclusive: a replica's durability is its primary's job")
+	}
+	if *replicaOf != "" && *preload > 0 {
+		log.Fatal("-replicaof and -preload are mutually exclusive: a replica's keyspace mirrors the primary")
+	}
 
 	factories := map[string]miniredis.EngineFactory{
 		"CuckooTrie": func(c int) index.Index {
@@ -120,7 +135,16 @@ func main() {
 	if srv.Persistent() {
 		name = fmt.Sprintf("%s, persisted to %s, fsync %s", name, *dataDir, *fsync)
 	}
-	fmt.Printf("ctredis listening on %s (engine: %s, %d keyspace stripes)\n", bound, name, srv.Stripes())
+	role := "master"
+	if *replicaOf != "" {
+		// ReplicaOf after Listen, so the session can advertise this
+		// server's own address to the primary (REPLCONF listening-port).
+		if _, err := srv.ReplicaOf(*replicaOf, 0); err != nil {
+			log.Fatal(err)
+		}
+		role = fmt.Sprintf("replica of %s", *replicaOf)
+	}
+	fmt.Printf("ctredis listening on %s (engine: %s, %d keyspace stripes, role: %s)\n", bound, name, srv.Stripes(), role)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

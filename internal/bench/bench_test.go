@@ -277,6 +277,27 @@ func TestJSONReports(t *testing.T) {
 				t.Fatal("sampled recovery row carries no balance (router not trained from the snapshot stream?)")
 			}
 		}},
+		"repl": {FigReplJSON, func(t *testing.T, rep Report) {
+			t.Helper()
+			seen := map[int]bool{}
+			for _, r := range rep.Rows {
+				if r.Engine != "CuckooTrie" || r.Mode != "read" {
+					t.Fatalf("repl row %+v: want CuckooTrie read rows", r)
+				}
+				seen[r.Replicas] = true
+				if r.Replicas > 0 && r.LagMS <= 0 {
+					t.Fatalf("repl row %+v carries no lag measurement", r)
+				}
+				if r.Replicas == 0 && r.LagMS != 0 {
+					t.Fatalf("repl row %+v: lag with no replicas", r)
+				}
+			}
+			for _, n := range replCounts {
+				if !seen[n] {
+					t.Fatalf("no row for %d replicas (saw %v)", n, seen)
+				}
+			}
+		}},
 	}
 	for name, c := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -31,8 +31,10 @@ type Report struct {
 // key-count ratio (1.0 = perfectly even; the shard count = everything on
 // one hot shard); zero when the cell is unsharded or balance was not
 // measured. Workload/Threads are set by the YCSB figures, Mode by the
-// persist figure ("load-mem", "snapshot", "recover", ...); axes a figure
-// does not sweep are omitted.
+// persist figure ("load-mem", "snapshot", "recover", ...); Replicas and
+// LagMS by the repl figure (read-replica count behind the measured
+// throughput, and the WAIT-measured lag of a write burst reaching every
+// replica). Axes a figure does not sweep are omitted.
 type Row struct {
 	Engine   string  `json:"engine"`
 	Dataset  string  `json:"dataset,omitempty"`
@@ -41,16 +43,18 @@ type Row struct {
 	Mode     string  `json:"mode,omitempty"`
 	Shards   int     `json:"shards"`
 	Threads  int     `json:"threads,omitempty"`
+	Replicas int     `json:"replicas,omitempty"`
 	Mops     float64 `json:"mops"`
 	Balance  float64 `json:"balance_max_mean,omitempty"`
+	LagMS    float64 `json:"lag_ms,omitempty"`
 }
 
 // axes serializes every identifying axis of a row (everything but the
 // measurements) — the key the text renderers use to pick cells out of a
 // report.
 func (r Row) axes() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s|%d|%d",
-		r.Engine, r.Dataset, r.Workload, r.Router, r.Mode, r.Shards, r.Threads)
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%d|%d|%d",
+		r.Engine, r.Dataset, r.Workload, r.Router, r.Mode, r.Shards, r.Threads, r.Replicas)
 }
 
 // newReport stamps the environment fields every figure shares.

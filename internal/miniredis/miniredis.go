@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/resp"
 	"repro/internal/sharded"
 )
@@ -131,6 +132,17 @@ func (ks *keyspace) get(name string, mk func() index.Index) index.Index {
 	ix = mk()
 	st.sets[name] = ix
 	return ix
+}
+
+// lookup returns the named set without creating it. The replication applier
+// uses it for OpDelete: deleting from a set that does not exist must not
+// conjure an empty index.
+func (ks *keyspace) lookup(name string) (index.Index, bool) {
+	st := ks.stripeFor(name)
+	st.mu.RLock()
+	ix, ok := st.sets[name]
+	st.mu.RUnlock()
+	return ix, ok
 }
 
 // lockAll / rlockAll acquire every stripe in index order — one global
@@ -238,6 +250,19 @@ type Server struct {
 	writeMus  []sync.Mutex
 	bgWg      sync.WaitGroup
 	bgSaveErr error // last background save failure, under saveMu
+
+	// Replication (see internal/repl and replication.go in this package).
+	// repl is the primary-side manager, created with persistence; bulkMu
+	// fences bulk loads against full-sync snapshot cuts (Preload holds the
+	// read lock, a PSYNC handshake write-locks to wait in-flight loads
+	// out). replMu guards the replica-side session.
+	repl        *repl.Manager
+	fanoutBytes int
+	bulkMu      sync.RWMutex
+	replMu      sync.Mutex
+	replSess    *repl.Replica
+	lastMaster  string // resume cache: last primary this server replicated
+	lastApplied uint64 // ...and the LSN applied when that session detached
 }
 
 // NewServer creates a server whose sorted sets use the given engine.
@@ -274,6 +299,21 @@ var ErrNoPersistence = errors.New("miniredis: persistence not enabled")
 // would forfeit the partitioned ingest); call Save after preloading to
 // make the loaded keys durable.
 func (s *Server) EnablePersistence(dir string, policy persist.FsyncPolicy, snapshotEvery int) (*persist.Result, error) {
+	return s.EnablePersistenceWithOptions(dir, PersistOptions{Policy: policy, SnapshotEvery: snapshotEvery})
+}
+
+// PersistOptions tunes persistence beyond EnablePersistence's defaults —
+// exposed mainly so tests can force tiny WAL segments and replication
+// fan-out buffers to exercise retention edges.
+type PersistOptions struct {
+	Policy        persist.FsyncPolicy
+	SnapshotEvery int   // logged writes between automatic BGSAVEs; 0 disables
+	SegmentBytes  int64 // WAL segment rotation threshold; 0 = persist default
+	FanoutBytes   int   // replication fan-out ring bound; 0 = repl default
+}
+
+// EnablePersistenceWithOptions is EnablePersistence with explicit tuning.
+func (s *Server) EnablePersistenceWithOptions(dir string, opts PersistOptions) (*persist.Result, error) {
 	if s.ln != nil {
 		return nil, errors.New("miniredis: enable persistence before Listen")
 	}
@@ -298,11 +338,21 @@ func (s *Server) EnablePersistence(dir string, policy persist.FsyncPolicy, snaps
 	// FloorLSN: a durable snapshot can be ahead of an unsynced WAL tail
 	// after a crash; new LSNs must start past everything recovery used, or
 	// the next recovery's LSN filter would skip acknowledged writes.
-	wal, err := persist.OpenWAL(dir, persist.WALOptions{Policy: policy, FloorLSN: res.LastLSN})
+	wal, err := persist.OpenWAL(dir, persist.WALOptions{Policy: opts.Policy, SegmentBytes: opts.SegmentBytes, FloorLSN: res.LastLSN})
 	if err != nil {
 		return nil, err
 	}
-	s.wal, s.dataDir, s.snapEvery = wal, dir, snapshotEvery
+	s.wal, s.dataDir, s.snapEvery = wal, dir, opts.SnapshotEvery
+	// A durable server can feed read replicas: every WAL append publishes
+	// its wire frame into the fan-out ring, in LSN order because the hook
+	// runs under the WAL's own mutex.
+	s.repl = repl.NewManager(repl.Config{
+		Dir:         dir,
+		LastLSN:     wal.LSN(),
+		FanoutBytes: opts.FanoutBytes,
+		CutSnapshot: s.snapshotForSync,
+	})
+	wal.SetOnAppend(s.repl.Publish)
 	// Probe the engine once: every set comes from the same factory, so one
 	// throwaway instance says whether snapshots may run against live
 	// writers or must quiesce the command loop first.
@@ -352,19 +402,22 @@ func (s *Server) lockAllWrites() func() {
 func (s *Server) Persistent() bool { return s.wal != nil }
 
 // logWrite appends one record for an applied write and drives the
-// automatic snapshot cadence. A nil WAL (memory-only server) is a no-op.
-func (s *Server) logWrite(op persist.Op, set string, key []byte, val uint64) error {
+// automatic snapshot cadence, returning the record's LSN — the offset a
+// later WAIT on the same connection targets. A nil WAL (memory-only
+// server) is a no-op returning 0.
+func (s *Server) logWrite(op persist.Op, set string, key []byte, val uint64) (uint64, error) {
 	if s.wal == nil {
-		return nil
+		return 0, nil
 	}
-	if _, err := s.wal.Append(op, set, key, val); err != nil {
-		return err
+	lsn, err := s.wal.Append(op, set, key, val)
+	if err != nil {
+		return 0, err
 	}
 	if s.snapEvery > 0 && s.sinceSave.Add(1) >= int64(s.snapEvery) {
 		s.sinceSave.Store(0)
 		s.BGSave()
 	}
-	return nil
+	return lsn, nil
 }
 
 // Save cuts a snapshot in the foreground: the keyspace's set list is
@@ -390,6 +443,14 @@ func (s *Server) save(cmdLocked bool) error {
 		s.cmdMu.Lock()
 		defer s.cmdMu.Unlock()
 	}
+	_, _, err := s.cutSnapshot()
+	return err
+}
+
+// cutSnapshot writes one snapshot and returns its LSN and file path; it
+// serializes against concurrent cuts via saveMu. Callers handle the
+// quiesce-vs-cmdMu question (see save and snapshotForSync).
+func (s *Server) cutSnapshot() (uint64, string, error) {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	// The LSN is captured BEFORE the cursors: every record ≤ lsn was
@@ -398,11 +459,24 @@ func (s *Server) save(cmdLocked bool) error {
 	// not the cursors caught them.
 	lsn := s.wal.LSN()
 	sets := s.ks.snapshotSets()
-	if _, err := persist.WriteSnapshot(s.dataDir, lsn, sets); err != nil {
-		return err
+	path, err := persist.WriteSnapshot(s.dataDir, lsn, sets)
+	if err != nil {
+		return 0, "", err
 	}
 	s.sinceSave.Store(0)
-	return persist.RemoveObsolete(s.dataDir, lsn)
+	return lsn, path, persist.RemoveObsolete(s.dataDir, lsn)
+}
+
+// snapshotForSync cuts the fresh snapshot a replica's full sync streams
+// (the repl.Manager's CutSnapshot hook). Always fresh, never a cached
+// file: bulk preloads bypass the WAL, so only a snapshot cut now is
+// guaranteed to contain them.
+func (s *Server) snapshotForSync() (uint64, string, error) {
+	if s.quiesceSaves {
+		s.cmdMu.Lock()
+		defer s.cmdMu.Unlock()
+	}
+	return s.cutSnapshot()
 }
 
 // BGSave starts Save on a background goroutine, at most one at a time.
@@ -437,7 +511,24 @@ func (s *Server) LastBGSaveError() error {
 // concurrent ingest for sharded engines — creating the set if needed. It
 // is meant for warming a server before benchmarking, off the RESP path.
 func (s *Server) Preload(set string, keys [][]byte, vals []uint64) (int, error) {
-	return index.BulkLoad(s.set(set), keys, vals)
+	if s.isReplica() {
+		return 0, errors.New("miniredis: cannot preload a replica (its keyspace mirrors the primary)")
+	}
+	// The read lock fences replication: a PSYNC handshake write-locks
+	// bulkMu before cutting its full-sync snapshot, so a replica that
+	// connects mid-load waits for the load to finish instead of streaming a
+	// half-loaded keyspace.
+	s.bulkMu.RLock()
+	defer s.bulkMu.RUnlock()
+	n, err := index.BulkLoad(s.set(set), keys, vals)
+	if err == nil && s.repl != nil {
+		// Preloaded keys bypass the WAL, so no replica state from before
+		// this point can catch up through the log alone: fence partial
+		// syncs below the current LSN and kick connected replicas into
+		// fresh full syncs.
+		s.repl.InvalidatePartialBelow(s.wal.LSN())
+	}
+	return n, err
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" picks a free port) and
@@ -460,6 +551,12 @@ func (s *Server) Close() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	if s.repl != nil {
+		// Kick replica connections first: their serve goroutines are
+		// blocked in the feed and must return before wg drains.
+		s.repl.Close()
+	}
+	s.detachReplica(true)
 	s.wg.Wait()
 	s.bgWg.Wait()
 	if s.wal != nil {
@@ -491,6 +588,7 @@ func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
+	cs := &connState{}
 	batch := make([][][]byte, 0, maxPipelineBatch)
 	for {
 		cmd, err := r.ReadCommand()
@@ -510,7 +608,22 @@ func (s *Server) serve(conn net.Conn) {
 			}
 			batch = append(batch, cmd)
 		}
-		s.dispatchBatch(w, batch)
+		// PSYNC turns the connection into a replication feed: dispatch
+		// whatever preceded it, then hand the connection to the manager for
+		// its remaining lifetime.
+		if i := psyncIndex(batch); i >= 0 {
+			s.dispatchBatch(w, batch[:i], cs)
+			s.servePSync(conn, r, w, cs, batch[i])
+			return
+		}
+		// A lone WAIT dispatches outside cmdMu: it blocks until replicas
+		// ack, and a serial server must keep executing the very writes the
+		// replicas need to ack while it waits.
+		if len(batch) == 1 && len(batch[0]) > 0 && strings.EqualFold(string(batch[0][0]), "WAIT") {
+			s.cmdWait(w, cs, batch[0])
+		} else {
+			s.dispatchBatch(w, batch, cs)
+		}
 		if err != nil { // tail read error: answer what we got, then drop
 			s.dropWithError(w, err)
 			return
@@ -519,6 +632,19 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// psyncIndex finds a PSYNC command in a drained batch (-1 when absent). A
+// replica never pipelines past its PSYNC, so anything after one would be
+// handshake bytes misread as commands — the index lets serve stop exactly
+// there.
+func psyncIndex(batch [][][]byte) int {
+	for i, cmd := range batch {
+		if len(cmd) > 0 && strings.EqualFold(string(cmd[0]), "PSYNC") {
+			return i
+		}
+	}
+	return -1
 }
 
 // dropWithError ends a connection the way Redis does: a clean hangup (EOF
@@ -537,7 +663,10 @@ func (s *Server) dropWithError(w *resp.Writer, err error) {
 // dispatchBatch executes a pipeline of commands. Consecutive ZSCOREs against
 // the same key collapse into a single MultiGet; everything else dispatches
 // one-by-one. Replies are written in command order either way.
-func (s *Server) dispatchBatch(w *resp.Writer, batch [][][]byte) {
+func (s *Server) dispatchBatch(w *resp.Writer, batch [][][]byte, cs *connState) {
+	if len(batch) == 0 {
+		return
+	}
 	if s.serial {
 		s.cmdMu.Lock()
 		defer s.cmdMu.Unlock()
@@ -554,7 +683,7 @@ func (s *Server) dispatchBatch(w *resp.Writer, batch [][][]byte) {
 			i = j
 			continue
 		}
-		s.dispatchOne(w, batch[i])
+		s.dispatchOne(w, batch[i], cs)
 		i++
 	}
 }
@@ -583,7 +712,7 @@ func (s *Server) zscoreBatch(w *resp.Writer, key []byte, cmds [][][]byte) {
 
 // dispatchOne executes a single command. The caller holds cmdMu when the
 // server runs in serial mode.
-func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
+func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte, cs *connState) {
 	if len(cmd) == 0 {
 		w.WriteError("empty command")
 		return
@@ -595,6 +724,9 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 	case "ZADD":
 		if len(cmd) != 4 {
 			w.WriteError("wrong number of arguments for ZADD")
+			return
+		}
+		if s.rejectReadonly(w) {
 			return
 		}
 		v, err := strconv.ParseUint(string(cmd[3]), 10, 64)
@@ -613,10 +745,12 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 		// The write is logged after it applied (AOF-style); a WAL failure
 		// is reported instead of acknowledging a write that cannot become
 		// durable.
-		if err := s.logWrite(persist.OpSet, string(cmd[1]), cmd[2], v); err != nil {
+		lsn, err := s.logWrite(persist.OpSet, string(cmd[1]), cmd[2], v)
+		if err != nil {
 			w.WriteError("persistence: " + err.Error())
 			return
 		}
+		cs.lastWrite = lsn
 		// Redis semantics: reply 1 only for a newly added member, 0 when an
 		// existing member's score was updated.
 		if added {
@@ -658,6 +792,9 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 			w.WriteError("wrong number of arguments for ZREM")
 			return
 		}
+		if s.rejectReadonly(w) {
+			return
+		}
 		if unlock := s.lockWrite(string(cmd[1])); unlock != nil {
 			defer unlock()
 		}
@@ -665,10 +802,12 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 			// Only a removal that happened is logged: replaying a delete of
 			// a key that was never there is harmless, but not logging one
 			// that was would resurrect the key on recovery.
-			if err := s.logWrite(persist.OpDelete, string(cmd[1]), cmd[2], 0); err != nil {
+			lsn, err := s.logWrite(persist.OpDelete, string(cmd[1]), cmd[2], 0)
+			if err != nil {
 				w.WriteError("persistence: " + err.Error())
 				return
 			}
+			cs.lastWrite = lsn
 			w.WriteInt(1)
 		} else {
 			w.WriteInt(0)
@@ -699,14 +838,19 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 	case "DBSIZE":
 		w.WriteInt(int64(s.ks.totalLen()))
 	case "FLUSHALL":
+		if s.rejectReadonly(w) {
+			return
+		}
 		if unlock := s.lockAllWrites(); unlock != nil {
 			defer unlock()
 		}
 		s.ks.flush()
-		if err := s.logWrite(persist.OpFlushAll, "", nil, 0); err != nil {
+		lsn, err := s.logWrite(persist.OpFlushAll, "", nil, 0)
+		if err != nil {
 			w.WriteError("persistence: " + err.Error())
 			return
 		}
+		cs.lastWrite = lsn
 		w.WriteSimple("OK")
 	case "SAVE":
 		// Foreground snapshot; in serial mode cmdMu is already held by this
@@ -726,6 +870,18 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte) {
 		} else {
 			w.WriteSimple("Background save already in progress")
 		}
+	case "REPLICAOF", "SLAVEOF":
+		s.cmdReplicaOf(w, cmd)
+	case "REPLCONF":
+		s.cmdReplconf(w, cs, cmd)
+	case "WAIT":
+		// A WAIT that reached dispatch was pipelined behind other commands
+		// (a lone WAIT bypasses cmdMu in serve). Waiting here under cmdMu
+		// only delays other clients, never the acks themselves: replica
+		// appliers and ack readers run outside this server's command loop.
+		s.cmdWait(w, cs, cmd)
+	case "INFO":
+		s.cmdInfo(w, cmd)
 	default:
 		w.WriteError(fmt.Sprintf("unknown command '%s'", cmd[0]))
 	}

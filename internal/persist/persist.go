@@ -90,6 +90,11 @@ const (
 	// OpFlushAll drops every set (mini-Redis FLUSHALL). Set and key are
 	// empty.
 	OpFlushAll Op = 3
+	// OpPing is a replication-stream heartbeat: it carries the LSN of the
+	// last record shipped on that stream (so an idle replica can still ack
+	// and measure lag) and is never written to a WAL segment — it exists
+	// only on the wire.
+	OpPing Op = 4
 )
 
 // Record is one decoded WAL entry.

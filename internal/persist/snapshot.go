@@ -208,7 +208,21 @@ func readSnapshot(path string) (lsn uint64, sets []SnapshotSet, err error) {
 		return 0, nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
+	lsn, sets, err = decodeSnapshot(f, path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if nameLSN, ok := parseSnapName(filepath.Base(path)); !ok || nameLSN != lsn {
+		return 0, nil, fmt.Errorf("%w: %s: header LSN %d does not match filename", ErrCorrupt, path, lsn)
+	}
+	return lsn, sets, nil
+}
+
+// decodeSnapshot decodes a snapshot image from r; name labels errors (a
+// file path, or "snapshot stream" for a replication full sync).
+func decodeSnapshot(r io.Reader, name string) (lsn uint64, sets []SnapshotSet, err error) {
+	path := name
+	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [snapHeaderLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, path)
@@ -217,9 +231,6 @@ func readSnapshot(path string) (lsn uint64, sets []SnapshotSet, err error) {
 		return 0, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
 	}
 	lsn = binary.LittleEndian.Uint64(hdr[8:])
-	if nameLSN, ok := parseSnapName(filepath.Base(path)); !ok || nameLSN != lsn {
-		return 0, nil, fmt.Errorf("%w: %s: header LSN %d does not match filename", ErrCorrupt, path, lsn)
-	}
 
 	fr := frameReader{r: br}
 	var cur *SnapshotSet

@@ -1,0 +1,122 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the WAL's wire face: the same record framing the segment
+// files use, exposed so internal/repl can ship the log over a TCP
+// connection. A replication stream is a sequence of record frames —
+// identical bytes to what Append writes into a segment, minus the segment
+// header — so a replica's applier and crash recovery share one decoder.
+
+// AppendRecordFrame appends one complete record frame (length prefix,
+// encoded record, CRC32-C) to dst and returns the extended slice. It is the
+// exact bytes Append would write for the same record, so frames from the
+// live WAL, from segment files, and from this encoder are interchangeable
+// on a replication stream. OpPing frames (wire-only heartbeats, never
+// written to segment files) are encoded the same way with an empty set and
+// key.
+func AppendRecordFrame(dst []byte, op Op, lsn uint64, set string, key []byte, val uint64) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, byte(op))
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	dst = appendUvarint(dst, uint64(len(set)))
+	dst = append(dst, set...)
+	dst = appendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	if op == OpSet {
+		dst = binary.LittleEndian.AppendUint64(dst, val)
+	}
+	payload := dst[start+4:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// RecordReader decodes a stream of record frames (a replication feed). The
+// decoded record's Key aliases an internal buffer reused by the next call;
+// callers that retain it must copy.
+type RecordReader struct {
+	br *bufio.Reader
+	fr frameReader
+}
+
+// NewRecordReader reads record frames from br. Taking the bufio.Reader
+// (not a plain io.Reader) is deliberate: the replication handshake runs
+// over RESP first, and the record stream must continue from the same
+// buffer or bytes the RESP reader already pulled in would be lost.
+func NewRecordReader(br *bufio.Reader) *RecordReader {
+	return &RecordReader{br: br, fr: frameReader{r: br}}
+}
+
+// Next decodes the next record into rec. io.EOF reports a cleanly closed
+// stream at a frame boundary; ErrCorrupt reports a torn or undecodable
+// frame (on a live TCP stream that means the connection died mid-frame —
+// the caller resyncs by reconnecting, never by skipping bytes).
+func (rr *RecordReader) Next(rec *Record) error {
+	payload, err := rr.fr.next()
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return ErrCorrupt
+	}
+	if err := decodeRecord(payload, rec); err != nil {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Buffered reports whether a COMPLETE record frame is already buffered, so
+// the next Next cannot block on the network. The replica's applier uses it
+// to drain everything the primary already sent into one apply batch
+// without withholding acks while waiting for more.
+func (rr *RecordReader) Buffered() bool {
+	buf, err := rr.br.Peek(rr.br.Buffered())
+	if err != nil || len(buf) < 4 {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	if n > maxFrameLen {
+		return true // torn frame: Next fails on it without blocking
+	}
+	return uint64(len(buf)) >= uint64(n)+8
+}
+
+// DecodeSnapshotStream decodes a snapshot image from r — the full-sync
+// payload a primary ships, byte-identical to a snap-<lsn>.snap file — and
+// returns its LSN and per-set contents, validated exactly like a snapshot
+// file (magic, trailer count and LSN) except for the filename check, which
+// a stream does not have.
+func DecodeSnapshotStream(r io.Reader) (lsn uint64, sets []SnapshotSet, err error) {
+	return decodeSnapshot(r, "snapshot stream")
+}
+
+// OldestWALLSN returns the first LSN of the oldest retained WAL segment,
+// or ok=false when the directory holds no segments. Replication uses it to
+// decide whether a replica's requested LSN can still be served from the
+// log (partial sync) or has been compacted away (full sync).
+func OldestWALLSN(dir string) (lsn uint64, ok bool) {
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return 0, false
+	}
+	return segs[0].lsn, nil == err
+}
+
+// ReplayRecords streams every on-disk WAL record with LSN > after, in LSN
+// order, to apply — replayWAL without the recovery bookkeeping. The
+// replication feed uses it to catch a replica up from segment files when
+// the in-memory fan-out buffer has already evicted the records it needs. A
+// torn tail on the newest segment ends the stream cleanly (the writer's
+// buffer simply has not reached the file yet); a gap below `after+1`
+// (compaction outran the reader) reports ErrCorrupt, which the feed treats
+// as "fallen behind retention" and resolves with a fresh full sync.
+func ReplayRecords(dir string, after uint64, apply func(*Record) error) (last uint64, err error) {
+	last, _, _, err = replayWAL(dir, after, apply)
+	return last, err
+}

@@ -81,6 +81,12 @@ type WAL struct {
 	encBuf  []byte
 	closed  bool
 	syncErr error // sticky background fsync failure, surfaced on Append
+	// onAppend, when set, observes every appended record — called under the
+	// WAL mutex with the record's LSN and its complete wire frame, so
+	// observation order is exactly LSN order (the property a replication
+	// fan-out needs). The frame aliases the WAL's encode buffer and must be
+	// copied if retained.
+	onAppend func(op Op, lsn uint64, frame []byte)
 
 	stop chan struct{} // everysec flusher shutdown
 	done chan struct{}
@@ -216,22 +222,17 @@ func (w *WAL) Append(op Op, set string, key []byte, val uint64) (uint64, error) 
 		return 0, w.syncErr
 	}
 	lsn := w.next
-	p := w.encBuf[:0]
-	p = append(p, byte(op))
-	p = binary.LittleEndian.AppendUint64(p, lsn)
-	p = appendUvarint(p, uint64(len(set)))
-	p = append(p, set...)
-	p = appendUvarint(p, uint64(len(key)))
-	p = append(p, key...)
-	if op == OpSet {
-		p = binary.LittleEndian.AppendUint64(p, val)
-	}
-	w.encBuf = p
-	if err := writeFrame(w.bw, p); err != nil {
+	frame := AppendRecordFrame(w.encBuf[:0], op, lsn, set, key, val)
+	w.encBuf = frame
+	if _, err := w.bw.Write(frame); err != nil {
 		return 0, err
 	}
 	w.next++
-	w.written += frameSize(len(p))
+	w.written += int64(len(frame))
+	if w.onAppend != nil {
+		// Under w.mu: fan-out subscribers see records in LSN order.
+		w.onAppend(op, lsn, frame)
+	}
 	if w.opts.Policy == FsyncAlways {
 		if err := w.syncLocked(); err != nil {
 			return 0, err
@@ -272,6 +273,16 @@ func (w *WAL) Sync() error {
 		return ErrWALClosed
 	}
 	return w.syncLocked()
+}
+
+// SetOnAppend installs the append observer (see the field comment). Call
+// it before the first Append — typically between opening the WAL and
+// starting to serve writes; installing it while appends are in flight is a
+// race.
+func (w *WAL) SetOnAppend(fn func(op Op, lsn uint64, frame []byte)) {
+	w.mu.Lock()
+	w.onAppend = fn
+	w.mu.Unlock()
 }
 
 // LSN returns the last assigned LSN (0 before the first append).
@@ -362,7 +373,7 @@ func decodeRecord(payload []byte, rec *Record) error {
 		return errTorn
 	}
 	op := Op(payload[0])
-	if op != OpSet && op != OpDelete && op != OpFlushAll {
+	if op != OpSet && op != OpDelete && op != OpFlushAll && op != OpPing {
 		return errTorn
 	}
 	rec.Op = op

@@ -1,0 +1,533 @@
+// Package repl ships the write-ahead log to read replicas over RESP —
+// PR 5's segmented, LSN-ordered WAL (internal/persist) is already a
+// replication log; this package streams it.
+//
+// Wire protocol. A replica dials the primary's ordinary RESP port and
+// speaks RESP for the handshake:
+//
+//	REPLCONF listening-port <port>   (optional; names the replica in INFO)
+//	PSYNC <lastAppliedLSN>           (0 for a fresh replica)
+//
+// The primary replies with one of:
+//
+//	+FULLSYNC <snapshotLSN> <bytes>  a freshly cut snapshot follows: exactly
+//	                                 <bytes> of snap-file image (the persist
+//	                                 CRC32-C frame format), then the live
+//	                                 record stream from snapshotLSN+1
+//	+CONTINUE <lastAppliedLSN>       the replica's LSN is still covered by
+//	                                 retained WAL segments: the record
+//	                                 stream alone follows, from lastLSN+1
+//
+// After the reply the connection stops being RESP in the primary→replica
+// direction: it carries WAL record frames (byte-identical to segment-file
+// frames) in strict LSN order, plus OpPing heartbeats carrying the last
+// shipped LSN. In the replica→primary direction the replica keeps sending
+// RESP commands — REPLCONF ACK <lsn> after each applied batch — which the
+// primary reads on a per-replica goroutine to drive WAIT and INFO lag.
+//
+// The feed is an in-memory fan-out buffer backed by segment files: every
+// WAL append publishes its encoded frame into a bounded ring (under the
+// WAL's own mutex, so publish order is LSN order); a feed that has fallen
+// behind the ring's retention catches up by replaying segment files, and
+// one that has fallen behind the segment-retention window (compaction
+// removed what it needs) is disconnected so the replica reconnects into a
+// fresh full sync — degradation, never an error.
+package repl
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/resp"
+)
+
+// DefaultFanoutBytes bounds the in-memory frame ring: enough to cover the
+// WAL writer's 64 KiB bufio (frames not yet visible in segment files) plus
+// a healthy replica's in-flight window, small enough to be negligible
+// against the keyspace.
+const DefaultFanoutBytes = 4 << 20
+
+// Config configures a primary-side Manager.
+type Config struct {
+	// Dir is the primary's WAL directory (segment files back the fan-out
+	// ring for replicas that outrun it).
+	Dir string
+	// LastLSN seeds the published LSN — pass the WAL's LSN at attach time;
+	// records at or below it live only in files.
+	LastLSN uint64
+	// FanoutBytes bounds the in-memory frame ring; 0 means
+	// DefaultFanoutBytes.
+	FanoutBytes int
+	// CutSnapshot produces a fresh snapshot for a full sync: it must cut
+	// (or reuse) a snapshot covering every write up to its returned LSN and
+	// return the file's path. On the mini-Redis server this is a SAVE.
+	CutSnapshot func() (lsn uint64, path string, err error)
+}
+
+// ReplicaInfo is one connected replica's state for INFO replication.
+type ReplicaInfo struct {
+	Addr  string // advertised listening address when known, remote addr otherwise
+	Acked uint64 // last LSN the replica confirmed applied
+}
+
+// feedConn is the primary's per-replica state: the connection, its ack
+// cursor, and the kick flag that tells its feed to stop.
+type feedConn struct {
+	conn   net.Conn
+	addr   string
+	acked  uint64
+	kicked bool
+}
+
+// waiter parks one WAIT caller until n replicas ack lsn.
+type waiter struct {
+	lsn uint64
+	n   int
+	ch  chan struct{}
+}
+
+// Manager is the primary side of replication: it fans the live WAL out to
+// every registered replica and tracks their acknowledged LSNs.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast: new record published / feed state change
+	lastLSN  uint64     // last published LSN
+	minPart  uint64     // LSNs below this may not partial-sync (see InvalidatePartialBelow)
+	ring     []ringEnt  // fan-out ring, ascending LSN, contiguous
+	ringHead int        // index of the oldest retained entry
+	ringB    int        // retained bytes
+	replicas map[*feedConn]struct{}
+	waiters  map[*waiter]struct{}
+	closed   bool
+
+	stopTick chan struct{} // heartbeat ticker shutdown
+	doneTick chan struct{}
+}
+
+type ringEnt struct {
+	lsn   uint64
+	frame []byte
+}
+
+// NewManager creates a primary-side replication manager. Wire its Publish
+// into the WAL via SetOnAppend before serving writes.
+func NewManager(cfg Config) *Manager {
+	if cfg.FanoutBytes <= 0 {
+		cfg.FanoutBytes = DefaultFanoutBytes
+	}
+	m := &Manager{
+		cfg:      cfg,
+		lastLSN:  cfg.LastLSN,
+		replicas: map[*feedConn]struct{}{},
+		waiters:  map[*waiter]struct{}{},
+		stopTick: make(chan struct{}),
+		doneTick: make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	go m.heartbeatLoop()
+	return m
+}
+
+// Publish enters one appended record into the fan-out ring. It is called
+// from the WAL's append hook, under the WAL mutex, so calls arrive in LSN
+// order; frame is copied (the WAL reuses its encode buffer).
+func (m *Manager) Publish(op persist.Op, lsn uint64, frame []byte) {
+	cp := append([]byte(nil), frame...)
+	m.mu.Lock()
+	m.ring = append(m.ring, ringEnt{lsn: lsn, frame: cp})
+	m.ringB += len(cp)
+	for m.ringB > m.cfg.FanoutBytes && m.ringHead < len(m.ring)-1 {
+		m.ringB -= len(m.ring[m.ringHead].frame)
+		m.ring[m.ringHead].frame = nil
+		m.ringHead++
+	}
+	if m.ringHead > 0 && m.ringHead >= len(m.ring)/2 {
+		m.ring = append(m.ring[:0], m.ring[m.ringHead:]...)
+		m.ringHead = 0
+	}
+	m.lastLSN = lsn
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// LastLSN returns the last published LSN.
+func (m *Manager) LastLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastLSN
+}
+
+// Replicas returns the connected replicas' info, feed-registration order
+// not guaranteed.
+func (m *Manager) Replicas() []ReplicaInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ReplicaInfo, 0, len(m.replicas))
+	for fc := range m.replicas {
+		out = append(out, ReplicaInfo{Addr: fc.addr, Acked: fc.acked})
+	}
+	return out
+}
+
+// AckedCount reports how many connected replicas have acknowledged lsn.
+func (m *Manager) AckedCount(lsn uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ackedCountLocked(lsn)
+}
+
+func (m *Manager) ackedCountLocked(lsn uint64) int {
+	n := 0
+	for fc := range m.replicas {
+		if fc.acked >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitAcks parks until at least n replicas have acknowledged lsn, the
+// timeout elapses (0 = wait forever), or the manager closes; it returns
+// the number of replicas acknowledging lsn at that moment — WAIT's reply.
+func (m *Manager) WaitAcks(lsn uint64, n int, timeout time.Duration) int {
+	m.mu.Lock()
+	if m.closed || n <= 0 || m.ackedCountLocked(lsn) >= n {
+		c := m.ackedCountLocked(lsn)
+		m.mu.Unlock()
+		return c
+	}
+	w := &waiter{lsn: lsn, n: n, ch: make(chan struct{}, 1)}
+	m.waiters[w] = struct{}{}
+	m.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-w.ch:
+	case <-timer:
+	case <-m.stopTick:
+	}
+	m.mu.Lock()
+	delete(m.waiters, w)
+	c := m.ackedCountLocked(lsn)
+	m.mu.Unlock()
+	return c
+}
+
+// updateAck records a replica's REPLCONF ACK and releases satisfied
+// waiters.
+func (m *Manager) updateAck(fc *feedConn, lsn uint64) {
+	m.mu.Lock()
+	if lsn > fc.acked {
+		fc.acked = lsn
+	}
+	for w := range m.waiters {
+		if m.ackedCountLocked(w.lsn) >= w.n {
+			select {
+			case w.ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+	m.mu.Unlock()
+}
+
+// InvalidatePartialBelow forbids partial syncs from LSNs below lsn and
+// disconnects every connected replica. The mini-Redis server calls it
+// after a bulk preload: preloaded keys bypass the WAL, so any replica
+// whose state predates the preload — connected and streaming, or
+// reconnecting with an older LSN — can only converge through a fresh full
+// sync.
+func (m *Manager) InvalidatePartialBelow(lsn uint64) {
+	m.mu.Lock()
+	if lsn > m.minPart {
+		m.minPart = lsn
+	}
+	m.mu.Unlock()
+	m.DisconnectAll()
+}
+
+// DisconnectAll kicks every connected replica; each reconnects and resyncs
+// (partial where still possible) on its own.
+func (m *Manager) DisconnectAll() {
+	m.mu.Lock()
+	for fc := range m.replicas {
+		fc.kicked = true
+		fc.conn.Close()
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Close kicks every replica, stops the heartbeat, and wakes every waiter.
+// The manager must not be used after.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for fc := range m.replicas {
+		fc.kicked = true
+		fc.conn.Close()
+	}
+	m.mu.Unlock()
+	close(m.stopTick)
+	<-m.doneTick
+	m.cond.Broadcast()
+}
+
+// heartbeatLoop wakes idle feeds twice a second so they can emit OpPing
+// frames (sync.Cond has no timed wait).
+func (m *Manager) heartbeatLoop() {
+	defer close(m.doneTick)
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopTick:
+			return
+		case <-t.C:
+			m.cond.Broadcast()
+		}
+	}
+}
+
+// Serve handles one replica connection after the server read its PSYNC
+// command: it answers the handshake (cutting a snapshot for a full sync),
+// then feeds the record stream until the connection dies or the manager
+// kicks it. It blocks for the connection's lifetime and owns conn's close.
+// listenAddr, when non-empty, is the replica's advertised address
+// (REPLCONF listening-port) used for INFO.
+func (m *Manager) Serve(conn net.Conn, rr *resp.Reader, rw *resp.Writer, replicaLSN uint64, listenAddr string) {
+	defer conn.Close()
+
+	m.mu.Lock()
+	closed, last, minPart := m.closed, m.lastLSN, m.minPart
+	m.mu.Unlock()
+	if closed {
+		rw.WriteError("replication shutting down")
+		rw.Flush()
+		return
+	}
+
+	// Partial sync iff every record in (replicaLSN, last] is still
+	// obtainable: the replica is not ahead of us, not behind the preload
+	// fence, and not behind the oldest retained segment.
+	oldest, haveWAL := persist.OldestWALLSN(m.cfg.Dir)
+	partial := replicaLSN > 0 &&
+		replicaLSN <= last &&
+		replicaLSN >= minPart &&
+		haveWAL && replicaLSN+1 >= oldest
+
+	start := replicaLSN // stream records with LSN > start
+	if partial {
+		rw.WriteSimple(fmt.Sprintf("CONTINUE %d", replicaLSN))
+		if err := rw.Flush(); err != nil {
+			return
+		}
+	} else {
+		lsn, path, err := m.cfg.CutSnapshot()
+		if err != nil {
+			rw.WriteError("full sync snapshot: " + err.Error())
+			rw.Flush()
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			rw.WriteError("full sync snapshot: " + err.Error())
+			rw.Flush()
+			return
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			rw.WriteError("full sync snapshot: " + err.Error())
+			rw.Flush()
+			return
+		}
+		rw.WriteSimple(fmt.Sprintf("FULLSYNC %d %d", lsn, st.Size()))
+		if err := rw.Flush(); err != nil {
+			f.Close()
+			return
+		}
+		// The snapshot image ships as raw bytes on the same connection. A
+		// concurrent compaction may unlink the file mid-copy; the open fd
+		// keeps the bytes readable.
+		_, err = io.Copy(conn, f)
+		f.Close()
+		if err != nil {
+			return
+		}
+		start = lsn
+	}
+
+	addr := conn.RemoteAddr().String()
+	if listenAddr != "" {
+		addr = listenAddr
+	}
+	// acked starts at 0, not at the sync point: the replica has not applied
+	// anything yet, and WAIT must report applied state, not shipped state.
+	// The replica's first REPLCONF ACK (sent as soon as its sync completes)
+	// raises it truthfully.
+	fc := &feedConn{conn: conn, addr: addr}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.replicas[fc] = struct{}{}
+	m.mu.Unlock()
+
+	go m.readAcks(fc, rr)
+	m.feed(fc, start)
+
+	m.mu.Lock()
+	delete(m.replicas, fc)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// readAcks consumes the replica→primary direction: RESP commands, of which
+// only REPLCONF ACK <lsn> matters. Any read error ends the feed too (the
+// connection is closed, which unblocks a feed parked in a write).
+func (m *Manager) readAcks(fc *feedConn, rr *resp.Reader) {
+	defer fc.conn.Close()
+	for {
+		cmd, err := rr.ReadCommand()
+		if err != nil {
+			return
+		}
+		if len(cmd) == 3 && eqFold(cmd[0], "REPLCONF") && eqFold(cmd[1], "ACK") {
+			if lsn, err := strconv.ParseUint(string(cmd[2]), 10, 64); err == nil {
+				m.updateAck(fc, lsn)
+			}
+		}
+	}
+}
+
+// feed streams records with LSN > start to one replica, in LSN order: from
+// the fan-out ring when it still holds them, from segment files when the
+// ring has evicted them, and as OpPing heartbeats when idle.
+func (m *Manager) feed(fc *feedConn, start uint64) {
+	bw := resp.NewWriter(fc.conn)
+	next := start + 1 // LSN the replica needs next
+	var scratch []byte
+	lastSend := time.Now()
+
+	for {
+		m.mu.Lock()
+		for !m.closed && !fc.kicked && next > m.lastLSN && time.Since(lastSend) < time.Second {
+			m.cond.Wait()
+		}
+		if m.closed || fc.kicked {
+			m.mu.Unlock()
+			return
+		}
+		if next > m.lastLSN {
+			m.mu.Unlock()
+			// Idle: heartbeat with the last shipped LSN. Everything ≤ next-1
+			// was sent on this stream, so the replica may ack it.
+			scratch = persist.AppendRecordFrame(scratch[:0], persist.OpPing, next-1, "", nil, 0)
+			if err := writeAll(bw, scratch); err != nil {
+				return
+			}
+			lastSend = time.Now()
+			continue
+		}
+		// Ring fast path: copy out the retained frames ≥ next (references —
+		// frames are immutable once published), send outside the lock.
+		var frames [][]byte
+		if m.ringHead < len(m.ring) && m.ring[m.ringHead].lsn <= next {
+			for i := m.ringHead; i < len(m.ring); i++ {
+				if m.ring[i].lsn >= next {
+					frames = append(frames, m.ring[i].frame)
+					next = m.ring[i].lsn + 1
+				}
+			}
+		}
+		m.mu.Unlock()
+
+		if len(frames) > 0 {
+			for _, fr := range frames {
+				if err := writeAll(bw, fr); err != nil {
+					return
+				}
+			}
+			lastSend = time.Now()
+			continue
+		}
+
+		// The ring has evicted what the replica needs: catch up from
+		// segment files. Reaching neither file nor ring coverage means
+		// compaction outran this replica — disconnect; it reconnects into a
+		// full sync.
+		sent := 0
+		last, err := persist.ReplayRecords(m.cfg.Dir, next-1, func(rec *persist.Record) error {
+			scratch = persist.AppendRecordFrame(scratch[:0], rec.Op, rec.LSN, rec.Set, rec.Key, rec.Val)
+			sent++
+			return writeAll(bw, scratch)
+		})
+		if err != nil {
+			return // gap (ErrCorrupt → full resync on reconnect) or dead conn
+		}
+		if last >= next {
+			next = last + 1
+		}
+		if sent > 0 {
+			lastSend = time.Now()
+		}
+		m.mu.Lock()
+		behindRing := m.ringHead < len(m.ring) && m.ring[m.ringHead].lsn > next
+		m.mu.Unlock()
+		if sent == 0 && behindRing {
+			// Files end before the ring begins and nothing moved: the
+			// records in between are gone (compacted away behind this
+			// replica). Deliberate policy, not failure: drop the connection
+			// and let the replica's reconnect resolve to a fresh full sync.
+			return
+		}
+	}
+}
+
+// writeAll writes b and flushes — record frames must not sit in the bufio
+// while the feed parks waiting for the next record.
+func writeAll(bw *resp.Writer, b []byte) error {
+	if err := bw.WriteRaw(b); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func eqFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		d := s[i]
+		if 'a' <= d && d <= 'z' {
+			d -= 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package repl
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+)
+
+func testManager(t *testing.T, fanout int) *Manager {
+	t.Helper()
+	m := NewManager(Config{Dir: t.TempDir(), FanoutBytes: fanout})
+	t.Cleanup(m.Close)
+	return m
+}
+
+// register wires a fake replica connection into the manager the way Serve
+// does, without a real handshake — enough to drive the ack bookkeeping.
+func register(t *testing.T, m *Manager) *feedConn {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	fc := &feedConn{conn: c1, addr: "test"}
+	m.mu.Lock()
+	m.replicas[fc] = struct{}{}
+	m.mu.Unlock()
+	return fc
+}
+
+// TestFanoutRingEviction: the ring retains at most FanoutBytes of frames
+// (always keeping the newest), evicts from the oldest end, and keeps
+// entries contiguous in LSN so the feed's fast path stays correct.
+func TestFanoutRingEviction(t *testing.T) {
+	const fanout = 1024
+	m := testManager(t, fanout)
+	frame := make([]byte, 100)
+	for lsn := uint64(1); lsn <= 100; lsn++ {
+		m.Publish(persist.OpSet, lsn, frame)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastLSN != 100 {
+		t.Fatalf("lastLSN = %d, want 100", m.lastLSN)
+	}
+	live := m.ring[m.ringHead:]
+	if len(live) == 0 {
+		t.Fatal("ring evicted everything including the newest frame")
+	}
+	if got := live[len(live)-1].lsn; got != 100 {
+		t.Fatalf("newest retained LSN = %d, want 100", got)
+	}
+	if m.ringB > fanout {
+		t.Fatalf("ring holds %d bytes, over the %d budget", m.ringB, fanout)
+	}
+	bytes := 0
+	for i, e := range live {
+		bytes += len(e.frame)
+		if i > 0 && e.lsn != live[i-1].lsn+1 {
+			t.Fatalf("ring LSNs not contiguous: %d after %d", e.lsn, live[i-1].lsn)
+		}
+	}
+	if bytes != m.ringB {
+		t.Fatalf("ringB = %d, live frames hold %d", m.ringB, bytes)
+	}
+	if m.ring[m.ringHead].lsn == 1 {
+		t.Fatal("100 x 100B frames under a 1KiB budget must have evicted LSN 1")
+	}
+}
+
+// TestPublishCopiesFrame: the WAL reuses its encode buffer across appends,
+// so Publish must copy — a retained frame must not change when the
+// caller's buffer is rewritten.
+func TestPublishCopiesFrame(t *testing.T) {
+	m := testManager(t, DefaultFanoutBytes)
+	buf := []byte{1, 2, 3}
+	m.Publish(persist.OpSet, 1, buf)
+	buf[0] = 99
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ring[m.ringHead].frame[0] != 1 {
+		t.Fatal("published frame aliases the caller's buffer")
+	}
+}
+
+// TestAckBookkeeping: acks are monotone per replica, AckedCount counts
+// replicas at-or-above an LSN, and WaitAcks resolves immediately when
+// already satisfied, on a later ack, or at its timeout with the count at
+// that moment.
+func TestAckBookkeeping(t *testing.T) {
+	m := testManager(t, DefaultFanoutBytes)
+	a, b := register(t, m), register(t, m)
+
+	m.updateAck(a, 10)
+	m.updateAck(a, 5) // stale ack must not regress the cursor
+	if a.acked != 10 {
+		t.Fatalf("acked = %d after a stale ack, want 10", a.acked)
+	}
+	if got := m.AckedCount(10); got != 1 {
+		t.Fatalf("AckedCount(10) = %d, want 1", got)
+	}
+	if got := m.WaitAcks(10, 1, 0); got != 1 {
+		t.Fatalf("already-satisfied WaitAcks = %d, want 1", got)
+	}
+	if got := m.WaitAcks(10, 0, 0); got != 1 {
+		t.Fatalf("WaitAcks with n=0 = %d, want the current count 1", got)
+	}
+
+	// A waiter parked on the second replica resolves when its ack lands.
+	done := make(chan int, 1)
+	go func() { done <- m.WaitAcks(10, 2, 30*time.Second) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	m.updateAck(b, 12)
+	select {
+	case got := <-done:
+		if got != 2 {
+			t.Fatalf("WaitAcks after second ack = %d, want 2", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAcks did not wake on the satisfying ack")
+	}
+
+	// Timeout path: nothing acks 100, the count at expiry comes back.
+	start := time.Now()
+	if got := m.WaitAcks(100, 1, 50*time.Millisecond); got != 0 {
+		t.Fatalf("timed-out WaitAcks = %d, want 0", got)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("WaitAcks returned before its timeout")
+	}
+}
+
+// TestInvalidatePartialBelow: the fence is monotone and every connected
+// replica is kicked (its connection closed) so it must resync.
+func TestInvalidatePartialBelow(t *testing.T) {
+	m := testManager(t, DefaultFanoutBytes)
+	fc := register(t, m)
+
+	m.InvalidatePartialBelow(40)
+	m.InvalidatePartialBelow(20) // lower fence must not win
+	m.mu.Lock()
+	minPart, kicked := m.minPart, fc.kicked
+	m.mu.Unlock()
+	if minPart != 40 {
+		t.Fatalf("minPart = %d, want 40", minPart)
+	}
+	if !kicked {
+		t.Fatal("connected replica not kicked by InvalidatePartialBelow")
+	}
+	fc.conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := fc.conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("kicked replica's connection still open")
+	}
+}
+
+// TestWaitAcksUnblocksOnClose: a parked WAIT must not outlive the manager.
+func TestWaitAcksUnblocksOnClose(t *testing.T) {
+	m := NewManager(Config{Dir: t.TempDir()})
+	register(t, m)
+	done := make(chan int, 1)
+	go func() { done <- m.WaitAcks(1, 1, 0) }()
+	time.Sleep(10 * time.Millisecond)
+	m.Close()
+	select {
+	case got := <-done:
+		if got != 0 {
+			t.Fatalf("WaitAcks after Close = %d, want 0", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAcks still parked after Close")
+	}
+}

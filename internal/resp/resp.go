@@ -24,6 +24,12 @@ type Reader struct {
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 64<<10)} }
 
+// Inner exposes the underlying buffered reader. Replication needs it: a
+// PSYNC handshake runs over RESP, then the same connection switches to a
+// raw frame stream — which must continue from this buffer, or bytes the
+// RESP reader already pulled in would be lost.
+func (r *Reader) Inner() *bufio.Reader { return r.br }
+
 // Buffered reports how many decoded-but-unread bytes sit in the reader's
 // buffer — nonzero when the client has pipelined further commands behind the
 // one just read.
@@ -308,6 +314,14 @@ func (w *Writer) WriteCommand(args ...[]byte) error {
 		w.bw.WriteString("\r\n")
 	}
 	return nil
+}
+
+// WriteRaw writes raw bytes through the writer's buffer — the escape hatch
+// a replication feed uses to ship WAL record frames on a connection whose
+// handshake ran over RESP.
+func (w *Writer) WriteRaw(b []byte) error {
+	_, err := w.bw.Write(b)
+	return err
 }
 
 // WriteSimple writes a +OK style reply.
