@@ -148,5 +148,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	srv.Close()
+	// Close's error is the WAL's final flush+fsync; a silent exit here
+	// could hide a non-durable tail.
+	if err := srv.Close(); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
 }

@@ -1,0 +1,310 @@
+// ctvet is the repo's invariant checker: a multichecker for the custom
+// analyzers in internal/analyzers (lockorder, cursorclose, durabilityerr,
+// atomicfield), built on the in-repo analysis kernel — no dependency on
+// golang.org/x/tools, which the offline build environment cannot fetch.
+//
+// It runs two ways:
+//
+//	go build -o ctvet ./cmd/ctvet
+//	go vet -vettool=./ctvet ./...     # the CI invocation
+//	./ctvet ./...                     # same thing: re-execs go vet on itself
+//
+// As a vettool it speaks cmd/go's vet protocol: -V=full prints a version
+// line keyed to the binary's own hash (so go vet's result cache
+// invalidates when an analyzer changes), -flags describes the analyzer
+// selection flags as JSON, and a <pkg>.cfg argument runs the analyzers
+// over one package using the export data the go command already built —
+// no duplicate type-checking of dependencies.
+//
+// _test.go files are skipped: the analyzers encode production invariants
+// (tests legitimately drop teardown errors and leak cursors into
+// t.Cleanup). Per-line suppression is //ctvet:ignore <reason>; testdata
+// fixture trees are outside the go command's package patterns and are
+// never vetted.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysis"
+)
+
+func main() {
+	log := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ctvet: "+format+"\n", args...)
+	}
+
+	versionFlag := flag.String("V", "", "print version and exit (-V=full, for the go command's build cache)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet's flag discovery)")
+	// Analyzer selection, mirroring go vet: naming any analyzer with
+	// -<name>=true runs only the named ones.
+	enabled := map[string]*bool{}
+	for _, a := range analyzers.All() {
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only named analyzers: "+firstLine(a.Doc))
+	}
+	// Tolerated no-ops so stray driver flags never break the protocol.
+	flag.Bool("json", false, "ignored (protocol compatibility)")
+	flag.String("c", "", "ignored (protocol compatibility)")
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		printFlags()
+		return
+	}
+
+	selected := analyzers.All()
+	var chosen []*analysis.Analyzer
+	for _, a := range selected {
+		if *enabled[a.Name] {
+			chosen = append(chosen, a)
+		}
+	}
+	if len(chosen) > 0 {
+		selected = chosen
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// vettool mode: one package, preparsed config from cmd/go.
+		exitCode, err := runUnit(args[0], selected)
+		if err != nil {
+			log("%v", err)
+			os.Exit(1)
+		}
+		os.Exit(exitCode)
+	}
+
+	// Standalone mode: delegate to go vet with ourselves as the vettool,
+	// so package loading, export data and caching are the go command's
+	// problem.
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log("cannot locate own binary: %v", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log("go vet: %v", err)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion emits the "name version ..." line the go command hashes
+// into its build cache key. Hashing our own binary means editing an
+// analyzer invalidates cached vet results.
+func printVersion() {
+	name := "ctvet"
+	h := sha256.New()
+	if self, err := os.Executable(); err == nil {
+		name = strings.TrimSuffix(filepath.Base(self), ".exe")
+		if f, err := os.Open(self); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	// The exact shape cmd/go's toolID parser accepts for unreleased
+	// tools: "<name> version devel ... buildID=<id>".
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}
+
+// printFlags describes our flags in the JSON shape go vet's flag
+// discovery expects.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers.All() {
+		out = append(out, jsonFlag{a.Name, true, firstLine(a.Doc)})
+	}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// vetConfig is the package description cmd/go writes for vet tools (the
+// fields unitchecker reads; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package from its vet config, printing diagnostics
+// to stderr. Exit code 2 signals findings, matching vet convention.
+func runUnit(cfgFile string, selected []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command requires an output facts file for caching even
+	// though these analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass, wanted only for facts — we have none.
+		return 0, nil
+	}
+
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(filepath.Base(f), "_test.go") {
+			continue // production invariants: test files are out of scope
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0, nil // external test package: nothing but _test.go files
+	}
+
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		parsed = append(parsed, f)
+	}
+
+	pkg, info, err := typeCheck(fset, parsed, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.RunAnalyzers(selected, fset, parsed, pkg, info)
+	if err != nil {
+		return 0, err
+	}
+	if len(findings) == 0 {
+		return 0, nil
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return 2, nil
+}
+
+// typeCheck type-checks the package against the export data the go
+// command already compiled for its dependencies (cfg.PackageFile), so a
+// vet run never re-type-checks the world from source.
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, goarch()),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func goarch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

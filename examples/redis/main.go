@@ -20,7 +20,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 	fmt.Println("server on", addr)
 
 	cl, err := miniredis.Dial(addr)

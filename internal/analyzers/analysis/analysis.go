@@ -1,0 +1,102 @@
+// Package analysis is a minimal, dependency-free core of the go/analysis
+// model (golang.org/x/tools is not vendored here, and the build
+// environment is offline, so the framework is reimplemented on the
+// standard library's go/ast + go/types). It carries exactly what the
+// repo's own analyzers need: an Analyzer with a Run hook over a
+// type-checked package, positional diagnostics, and the shared
+// //ctvet:ignore suppression layer. The API deliberately mirrors
+// x/tools/go/analysis so the analyzers could be rebased onto the real
+// framework by swapping one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags; it must be a
+	// valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to a package. Diagnostics go through
+	// pass.Report/Reportf; the error return is for analysis failures, not
+	// findings.
+	Run func(pass *Pass) error
+}
+
+// Pass is the input to one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunAnalyzers applies every analyzer to the package, applies the
+// //ctvet:ignore suppression layer, and returns the surviving
+// diagnostics tagged with their analyzer.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info) ([]Finding, error) {
+
+	ig := collectIgnores(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			if ig.suppresses(fset.Position(d.Pos)) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+	// Malformed directives are findings in their own right: an ignore
+	// without a reason silences a checker with no trace of why.
+	for _, bad := range ig.bare {
+		out = append(out, Finding{
+			Analyzer: "ctvet",
+			Pos:      bad,
+			Message:  "//ctvet:ignore needs a reason (write //ctvet:ignore <why this invariant does not apply here>)",
+		})
+	}
+	return out, nil
+}
+
+// Finding is a post-suppression diagnostic ready for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// A bare directive is a finding in its own right: the reason is the audit
+// trail, and silently accepting its absence would make the escape hatch
+// unreviewable.
+func TestBareIgnoreIsAFinding(t *testing.T) {
+	fset, files := parseOne(t, "package p\n\nfunc f() {\n\t//ctvet:ignore\n\t_ = 0\n}\n")
+	findings, err := RunAnalyzers(nil, fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if findings[0].Analyzer != "ctvet" || !strings.Contains(findings[0].Message, "needs a reason") {
+		t.Fatalf("unexpected finding: %v", findings[0])
+	}
+}
+
+// A directive with a reason suppresses its own line and the next — and
+// nothing beyond.
+func TestIgnoreSuppressionScope(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 0 //ctvet:ignore the reason\n\t_ = 1\n\t_ = 2\n}\n"
+	fset, files := parseOne(t, src)
+	body := files[0].Decls[0].(*ast.FuncDecl).Body.List
+	a := &Analyzer{
+		Name: "probe",
+		Doc:  "reports at every statement",
+		Run: func(p *Pass) error {
+			for _, st := range body {
+				p.Reportf(st.Pos(), "probe finding")
+			}
+			return nil
+		},
+	}
+	findings, err := RunAnalyzers([]*Analyzer{a}, fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statements sit on lines 4, 5, 6; the directive on 4 suppresses 4
+	// and 5, so only line 6 survives.
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if got := findings[0].Pos.Line; got != 6 {
+		t.Fatalf("surviving finding on line %d, want 6", got)
+	}
+	if s := findings[0].String(); !strings.Contains(s, "probe: probe finding") {
+		t.Fatalf("finding renders as %q", s)
+	}
+}
+
+// A longer word sharing the prefix is not our directive.
+func TestIgnorePrefixIsWordBounded(t *testing.T) {
+	fset, files := parseOne(t, "package p\n\nfunc f() {\n\t//ctvet:ignoreme\n\t_ = 0\n}\n")
+	findings, err := RunAnalyzers(nil, fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("got %d findings, want 0: %v", len(findings), findings)
+	}
+}

@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want "regexp" comments — the same fixture
+// convention as x/tools/go/analysis/analysistest, reimplemented on the
+// in-repo analysis kernel. Fixtures live under <analyzer>/testdata/src/<pkg>
+// and may import sibling fixture packages (repo-type stubs) as well as the
+// real standard library.
+//
+// Expectation syntax, per source line:
+//
+//	call()           // want "regexp"
+//	twoFindings()    // want "first" "second"
+//
+// Every diagnostic must match a want on its line, and every want must be
+// matched by a diagnostic; //ctvet:ignore suppression runs first, so a
+// violating line carrying an ignore directive and no want asserts the
+// suppression works.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// TestData returns the caller package's testdata/src root.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata", "src")
+}
+
+// Run loads each named fixture package from root and applies the
+// analyzer, failing t on any mismatch between diagnostics and wants.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, root, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, root string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(root, filepath.FromSlash(pkgpath))
+	loaded, err := analysis.LoadDir(dir, pkgpath, root)
+	if err != nil {
+		t.Fatalf("%s: loading fixture: %v", pkgpath, err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, loaded.Fset, loaded.Files, loaded.Pkg, loaded.Info)
+	if err != nil {
+		t.Fatalf("%s: running %s: %v", pkgpath, a.Name, err)
+	}
+
+	wants, err := collectWants(loaded.Fset, dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+	matched := map[*want]bool{}
+	for _, f := range findings {
+		w := findWant(wants, f.Pos, f.Message)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgpath, f)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgpath, w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(fset *token.FileSet, dir string) ([]*want, error) {
+	_ = fset
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats, err := splitPatterns(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want: %v", e.Name(), i+1, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, p, err)
+				}
+				wants = append(wants, &want{file: filepath.Join(dir, e.Name()), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		q := s[0]
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == q && (q == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}
+
+func findWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //ctvet:ignore escape hatch. A directive with a reason suppresses
+// every ctvet diagnostic on its own source line — or, when the comment
+// stands alone, on the next line — so a deliberate exception reads as
+//
+//	w.Flush() //ctvet:ignore connection is being dropped; flush is best-effort
+//
+// or
+//
+//	//ctvet:ignore bench teardown; durability is not what this measures
+//	srv.Close()
+//
+// A bare //ctvet:ignore with no reason is itself reported: the reason is
+// the audit trail.
+const ignorePrefix = "//ctvet:ignore"
+
+type ignoreSet struct {
+	// lines maps filename → set of suppressed line numbers.
+	lines map[string]map[int]bool
+	// bare records directives missing a reason.
+	bare []token.Position
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{lines: map[string]map[int]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // a longer word, e.g. //ctvet:ignoreme — not ours
+				}
+				if strings.TrimSpace(rest) == "" {
+					ig.bare = append(ig.bare, fset.Position(c.Pos()))
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := ig.lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ig.lines[pos.Filename] = m
+				}
+				// Suppress the directive's own line (trailing comment) and
+				// the following line (standalone comment above the
+				// statement). Suppressing both is harmless: the directive
+				// line holds either code or only the comment.
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) suppresses(pos token.Position) bool {
+	return ig.lines[pos.Filename][pos.Line]
+}

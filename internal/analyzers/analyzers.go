@@ -1,0 +1,34 @@
+// Package analyzers registers the repo's invariant checkers — the rules
+// the race detector can only validate on interleavings it happens to
+// execute, encoded as static analysis over every path:
+//
+//   - lockorder: the global lock order (cmdMu → bulkMu → saveMu → replMu
+//     → stripe locks ascending) holds in every function.
+//   - cursorclose: pool-recycled cursors reach Close on all control-flow
+//     paths.
+//   - durabilityerr: errors from WAL append/sync/close, snapshot writes
+//     and RESP reply writes are consumed, never dropped.
+//   - atomicfield: a struct field accessed via sync/atomic anywhere is
+//     accessed atomically everywhere (the rootColor bug generalized).
+//
+// cmd/ctvet runs them over the tree (standalone or as go vet -vettool);
+// //ctvet:ignore <reason> is the per-line escape hatch.
+package analyzers
+
+import (
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/atomicfield"
+	"repro/internal/analyzers/cursorclose"
+	"repro/internal/analyzers/durabilityerr"
+	"repro/internal/analyzers/lockorder"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		cursorclose.Analyzer,
+		durabilityerr.Analyzer,
+		atomicfield.Analyzer,
+	}
+}

@@ -1,0 +1,119 @@
+// Package atomicfield generalizes the repo's historical rootColor bug: a
+// struct field that is accessed through sync/atomic anywhere must be
+// accessed atomically everywhere in the package.
+//
+// PR 1's lock-free readers navigate the trie through atomically published
+// words; the root's color was originally a plain uint32 field written
+// with atomic.StoreUint32 by resize but read plainly by readers — a data
+// race the detector only reports when a resize happens to overlap a read
+// in a -race run. (The field is an atomic.Uint32 today; the pre-fix shape
+// lives on as this analyzer's fixture.) The general rule: mixing
+// atomic.<Op>(&s.f, ...) with plain `s.f` reads or writes silently
+// forfeits the happens-before edge the atomic side is paying for.
+//
+// The check is package-scoped and field-granular: pass 1 records every
+// field whose address feeds a sync/atomic call; pass 2 flags every other
+// access to those fields. Fields of type atomic.Uint32/atomic.Pointer/...
+// need no checking — the type system already forbids plain access.
+// Intentional pre-publication plain writes (constructors) carry
+// //ctvet:ignore with the reason.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "check that struct fields accessed via sync/atomic are accessed " +
+		"atomically everywhere (the rootColor bug generalized)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields whose address is taken directly in a sync/atomic
+	// call argument, and the positions of those sanctioned selector uses.
+	atomicFields := map[types.Object]token.Pos{} // field -> first atomic use
+	sanctioned := map[token.Pos]bool{}           // SelectorExpr positions inside atomic calls
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObject(pass, sel); obj != nil {
+					if _, seen := atomicFields[obj]; !seen {
+						atomicFields[obj] = sel.Pos()
+					}
+					sanctioned[sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other access to those fields is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel.Pos()] {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			first, ok := atomicFields[obj]
+			if !ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed atomically elsewhere (e.g. %s) but plainly here; mixed atomic/plain access loses the happens-before edge (the rootColor bug)",
+				obj.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldObject returns the struct-field object a selector resolves to, nil
+// for methods, package selectors, and non-field selections.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicCall reports whether call targets a function in sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}

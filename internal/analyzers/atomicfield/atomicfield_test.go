@@ -1,0 +1,11 @@
+package atomicfield
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysis/analysistest"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "atomicfield")
+}

@@ -1,0 +1,43 @@
+// Package atomicfield is the analyzer's fixture — the pre-fix rootColor
+// shape from PR 1: a plain uint32 field written with atomic.StoreUint32 by
+// resize but read plainly by the lock-free reader path.
+package atomicfield
+
+import "sync/atomic"
+
+type trie struct {
+	rootColor uint32 // the historical bug: plain field, mixed access
+	size      int
+}
+
+// flipColor is the resize side: atomic, as it always was.
+func (t *trie) flipColor() {
+	atomic.StoreUint32(&t.rootColor, 1-atomic.LoadUint32(&t.rootColor))
+}
+
+// lookup is the reader side of the historical bug: a plain read of a field
+// the writer publishes atomically.
+func (t *trie) lookup() uint32 {
+	return t.rootColor // want `field rootColor is accessed atomically elsewhere .* but plainly here`
+}
+
+func (t *trie) reset() {
+	t.size = 0      // no finding: size is never touched atomically
+	t.rootColor = 0 // want `field rootColor is accessed atomically elsewhere .* but plainly here`
+}
+
+// newTrie's plain write happens before the value is shared; the directive
+// records that and suppresses the finding.
+func newTrie() *trie {
+	t := &trie{}
+	t.rootColor = 1 //ctvet:ignore pre-publication write: t is not shared until newTrie returns
+	return t
+}
+
+// modern is the post-fix shape: the type system forbids plain access to
+// atomic.Uint32, so there is nothing for the analyzer to say.
+type modern struct {
+	color atomic.Uint32
+}
+
+func (m *modern) read() uint32 { return m.color.Load() }

@@ -1,0 +1,416 @@
+// Package cursorclose checks that every index.Cursor obtained from a
+// NewCursor/Cursor call reaches Close on all intraprocedural control-flow
+// paths — including early error returns.
+//
+// Cursors are sync.Pool-recycled (internal/sharded keeps merge/chain
+// cursors and their per-shard children alive across recycles), so a
+// leaked cursor never crashes anything: it just silently shrinks the pool
+// and turns a Scan-heavy workload's warm path back into an allocating
+// one. That makes the leak invisible to tests and the race detector both
+// — exactly the kind of invariant a checker has to carry.
+//
+// Cursor values are matched structurally (the static type's method set
+// contains Seek/Next/Valid/Close with index.Cursor's shapes), so the
+// check covers index.Cursor itself, concrete engine iterators, and
+// fixture stubs alike. A tracked cursor is considered handed off — no
+// longer this function's to close — when it is returned, stored into a
+// struct/slice/map, passed to another function, captured by a closure, or
+// sent on a channel.
+package cursorclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cursorclose",
+	Doc: "check that pool-recycled cursors obtained from NewCursor reach " +
+		"Close on every control-flow path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			w := &walker{pass: pass}
+			open := map[types.Object]token.Pos{}
+			terminated := w.block(body.List, open)
+			if !terminated {
+				w.reportOpen(open, body.Rbrace)
+			}
+			// Keep descending: nested FuncLits are analyzed as their own
+			// scopes when Inspect reaches them (the enclosing walker
+			// treats the literal's captures as hand-offs and never enters
+			// its body, so nothing is reported twice).
+			return true
+		})
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block walks a statement list with the set of open cursors, returning
+// whether the list definitely terminates (returns) on every path through
+// its end.
+func (w *walker) block(stmts []ast.Stmt, open map[types.Object]token.Pos) bool {
+	for _, stmt := range stmts {
+		if w.stmt(stmt, open) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement; it reports true when the statement
+// terminates the enclosing function on all paths.
+func (w *walker) stmt(stmt ast.Stmt, open map[types.Object]token.Pos) bool {
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		w.assign(st, open)
+	case *ast.ExprStmt:
+		w.exprStmt(st.X, open)
+	case *ast.DeferStmt:
+		if obj := closeReceiver(w.pass, st.Call); obj != nil {
+			delete(open, obj) // defer c.Close() covers every later path
+			return false
+		}
+		w.escapeAll(st.Call, open)
+	case *ast.GoStmt:
+		w.escapeAll(st.Call, open)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.escape(r, open) // returning the cursor hands it off
+		}
+		w.reportOpen(open, st.Pos())
+		return true
+	case *ast.BlockStmt:
+		return w.block(st.List, open)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, open)
+		}
+		w.escapeCond(st.Cond, open)
+		thenState := clone(open)
+		thenTerm := w.block(st.Body.List, thenState)
+		elseState := clone(open)
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = w.stmt(st.Else, elseState)
+		}
+		merge(open, thenState, thenTerm, elseState, elseTerm)
+		return thenTerm && elseTerm && st.Else != nil
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, open)
+		}
+		if st.Cond != nil {
+			w.escapeCond(st.Cond, open)
+		}
+		bodyState := clone(open)
+		w.block(st.Body.List, bodyState)
+		// The body may run zero times: a close inside it does not close
+		// the outer path, and a cursor opened inside it belongs to the
+		// body's own iteration scope (reported there only via fallthrough
+		// of the whole function, which keeps loops conservative-quiet).
+		return false
+	case *ast.RangeStmt:
+		w.escapeCond(st.X, open)
+		bodyState := clone(open)
+		w.block(st.Body.List, bodyState)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.branches(stmt, open)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, open)
+	case *ast.SendStmt:
+		w.escape(st.Value, open)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.escapeCond(v, open)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// branches handles switch/select conservatively: each clause runs on a
+// clone; a cursor closed in SOME clause may still be open after (union of
+// opens), and termination is only certain when every clause terminates
+// and the statement has a default/else-like clause — rare enough that we
+// simply report nothing extra and keep the pre-switch state unioned.
+func (w *walker) branches(stmt ast.Stmt, open map[types.Object]token.Pos) {
+	var clauses []*ast.BlockStmt
+	collect := func(list []ast.Stmt) {
+		for _, c := range list {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				clauses = append(clauses, &ast.BlockStmt{List: cc.Body})
+			case *ast.CommClause:
+				clauses = append(clauses, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	}
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, open)
+		}
+		if st.Tag != nil {
+			w.escapeCond(st.Tag, open)
+		}
+		collect(st.Body.List)
+	case *ast.TypeSwitchStmt:
+		collect(st.Body.List)
+	case *ast.SelectStmt:
+		collect(st.Body.List)
+	}
+	for _, cl := range clauses {
+		cs := clone(open)
+		w.block(cl.List, cs)
+	}
+}
+
+// assign tracks cursor acquisitions (c := x.NewCursor()) and hand-offs
+// (field/map/slice stores, reassignments).
+func (w *walker) assign(st *ast.AssignStmt, open map[types.Object]token.Pos) {
+	// RHS first: uses of existing cursors, then new acquisitions.
+	for _, rhs := range st.Rhs {
+		w.escapeCond(rhs, open)
+	}
+	// A cursor stored anywhere loses single-owner tracking; a tracked
+	// variable overwritten while open is reported (the old cursor leaks).
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				// A field/slice/map store (st.cur = c) hands the cursor off
+				// to whoever owns the destination; a blank assign discards
+				// tracking conservatively.
+				w.escape(st.Rhs[i], open)
+				continue
+			}
+			obj := w.pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if pos, was := open[obj]; was && st.Tok == token.ASSIGN {
+				w.pass.Reportf(st.Pos(), "cursor acquired at %s is overwritten before Close (pool capacity leak)",
+					w.pass.Fset.Position(pos))
+				delete(open, obj)
+			}
+			if call, ok := st.Rhs[i].(*ast.CallExpr); ok && isCursorAcquisition(w.pass, call) {
+				open[obj] = st.Pos()
+			}
+		}
+		return
+	}
+	// Multi-value form: c, ok := f() — no cursor constructors in the repo
+	// return multiple values, so only hand-offs matter here (handled by
+	// escapeCond above).
+}
+
+// exprStmt handles statement-level calls: c.Close() closes, any other use
+// of a tracked cursor as an argument hands it off.
+func (w *walker) exprStmt(e ast.Expr, open map[types.Object]token.Pos) {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if obj := closeReceiver(w.pass, call); obj != nil {
+			delete(open, obj)
+			return
+		}
+		// c.Seek(...) etc.: receiver use is fine; arguments escape.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if _, tracked := open[w.pass.TypesInfo.ObjectOf(id)]; tracked {
+					for _, arg := range call.Args {
+						w.escape(arg, open)
+					}
+					return
+				}
+			}
+		}
+		w.escapeAll(call, open)
+		return
+	}
+	w.escapeCond(e, open)
+}
+
+// escapeCond scans an expression for cursor uses, treating method-call
+// receiver positions (ok := c.Seek(k), loop conditions) as legitimate
+// non-escaping uses and anything else — call arguments, composite
+// literals, closures capturing the variable — as a hand-off.
+func (w *walker) escapeCond(e ast.Expr, open map[types.Object]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Receiver position does not escape; everything else does.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if _, tracked := open[w.pass.TypesInfo.ObjectOf(id)]; tracked {
+						for _, arg := range n.Args {
+							w.escape(arg, open)
+						}
+						return false
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				w.escape(arg, open)
+			}
+			w.escapeCond(n.Fun, open)
+			return false
+		case *ast.FuncLit:
+			w.escapeAll(n, open)
+			return false
+		case *ast.CompositeLit:
+			w.escapeAll(n, open)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				w.escapeAll(n, open)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// escape removes every tracked cursor mentioned anywhere in e: its
+// ownership moved somewhere this function cannot see.
+func (w *walker) escape(e ast.Expr, open map[types.Object]token.Pos) {
+	if e == nil {
+		return
+	}
+	w.escapeAll(e, open)
+}
+
+func (w *walker) escapeAll(n ast.Node, open map[types.Object]token.Pos) {
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if id, ok := nn.(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.ObjectOf(id); obj != nil {
+				delete(open, obj)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) reportOpen(open map[types.Object]token.Pos, at token.Pos) {
+	for obj, pos := range open {
+		w.pass.Reportf(at, "cursor %q acquired at %s does not reach Close on this path; pooled cursors that skip Close leak pool capacity",
+			obj.Name(), w.pass.Fset.Position(pos))
+		delete(open, obj)
+	}
+}
+
+func clone(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// merge folds branch outcomes back into open: a cursor survives as open
+// if any non-terminated branch leaves it open.
+func merge(open map[types.Object]token.Pos, a map[types.Object]token.Pos, aTerm bool, b map[types.Object]token.Pos, bTerm bool) {
+	for k := range open {
+		delete(open, k)
+	}
+	if !aTerm {
+		for k, v := range a {
+			open[k] = v
+		}
+	}
+	if !bTerm {
+		for k, v := range b {
+			open[k] = v
+		}
+	}
+}
+
+// closeReceiver returns the object of c in a plain c.Close() call, nil
+// otherwise.
+func closeReceiver(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// isCursorAcquisition reports whether call constructs a cursor this
+// analyzer should track: a method/function named NewCursor or Cursor
+// whose single result is cursor-shaped.
+func isCursorAcquisition(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != "NewCursor" && name != "Cursor" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	return isCursorType(tv.Type)
+}
+
+// isCursorType matches index.Cursor structurally: the method set (value
+// or pointer) must contain Seek([]byte) bool, Next() bool, Valid() bool
+// and Close().
+func isCursorType(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	need := map[string]bool{"Seek": false, "Next": false, "Valid": false, "Close": false}
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if _, tracked := need[m.Name()]; tracked {
+			need[m.Name()] = true
+		}
+	}
+	for _, ok := range need {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,11 @@
+package cursorclose
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysis/analysistest"
+)
+
+func TestCursorClose(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "cursorclose")
+}

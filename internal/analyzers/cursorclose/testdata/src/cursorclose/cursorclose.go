@@ -1,0 +1,95 @@
+// Package cursorclose is the analyzer's fixture: leaks on early returns,
+// branch-dependent closes, overwrites, legitimate hand-offs, and the
+// //ctvet:ignore escape hatch.
+package cursorclose
+
+import "index"
+
+func closesOnAllPaths(t *index.Tree, keys [][]byte) bool {
+	c := t.NewCursor()
+	defer c.Close()
+	for _, k := range keys {
+		if !c.Seek(k) {
+			return false
+		}
+	}
+	return true
+}
+
+func closesExplicitly(t *index.Tree) {
+	c := t.NewCursor()
+	for c.Next() {
+	}
+	c.Close()
+}
+
+func leaksOnEarlyReturn(t *index.Tree, keys [][]byte) bool {
+	c := t.NewCursor()
+	for _, k := range keys {
+		if !c.Seek(k) {
+			return false // want `cursor "c" acquired at .* does not reach Close`
+		}
+	}
+	c.Close()
+	return true
+}
+
+func leaksAtFunctionEnd(t *index.Tree) {
+	c := t.NewCursor()
+	c.Next()
+} // want `cursor "c" acquired at .* does not reach Close`
+
+func closedInOneBranchOnly(t *index.Tree) {
+	c := t.NewCursor()
+	if c.Valid() {
+		c.Close()
+		return
+	}
+} // want `cursor "c" acquired at .* does not reach Close`
+
+func overwritesWhileOpen(t *index.Tree) {
+	c := t.NewCursor()
+	c = t.NewCursor() // want `cursor acquired at .* is overwritten before Close`
+	c.Close()
+}
+
+func handsOffByReturn(t *index.Tree) index.Cursor {
+	return t.NewCursor()
+}
+
+func handsOffNamedByReturn(t *index.Tree) index.Cursor {
+	c := t.NewCursor()
+	c.Next()
+	return c
+}
+
+type scanState struct {
+	cur index.Cursor
+}
+
+func handsOffByStore(t *index.Tree, st *scanState) {
+	c := t.NewCursor()
+	st.cur = c
+}
+
+func drain(c index.Cursor) {
+	for c.Next() {
+	}
+	c.Close()
+}
+
+func handsOffByCall(t *index.Tree) {
+	c := t.NewCursor()
+	drain(c)
+}
+
+func handsOffToClosure(t *index.Tree) func() {
+	c := t.NewCursor()
+	return func() { c.Close() }
+}
+
+func suppressedLeak(t *index.Tree) {
+	c := t.NewCursor()
+	c.Next()
+	//ctvet:ignore fixture: deliberate leak proving the escape hatch suppresses it
+}

@@ -1,0 +1,19 @@
+// Package index stubs the repo's index package for the cursorclose
+// fixtures: the Cursor shape matches repro/internal/index.Cursor's method
+// set, which is what the analyzer matches structurally.
+package index
+
+// Cursor is the pool-recycled iterator shape.
+type Cursor interface {
+	Seek(key []byte) bool
+	Next() bool
+	Valid() bool
+	Key() []byte
+	Close()
+}
+
+// Tree stands in for an engine that vends cursors.
+type Tree struct{}
+
+// NewCursor vends a cursor; callers own it until Close or hand-off.
+func (t *Tree) NewCursor() Cursor { return nil }

@@ -1,0 +1,11 @@
+package durabilityerr
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysis/analysistest"
+)
+
+func TestDurabilityErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "durabilityerr")
+}

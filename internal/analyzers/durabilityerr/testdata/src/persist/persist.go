@@ -1,0 +1,18 @@
+// Package persist stubs the repo's persistence layer for the
+// durabilityerr fixtures; the analyzer matches it by import-path suffix.
+package persist
+
+// WAL stands in for the write-ahead log.
+type WAL struct{}
+
+// Append logs one record, returning its LSN.
+func (w *WAL) Append(rec []byte) (uint64, error) { return 0, nil }
+
+// Sync flushes and fsyncs the log.
+func (w *WAL) Sync() error { return nil }
+
+// Close is the final flush+fsync.
+func (w *WAL) Close() error { return nil }
+
+// WriteSnapshot writes a point-in-time image.
+func WriteSnapshot(path string) error { return nil }

@@ -1,0 +1,15 @@
+// Package resp stubs the repo's RESP writer for the durabilityerr
+// fixtures.
+package resp
+
+// Writer stands in for the buffered protocol writer.
+type Writer struct{}
+
+// Flush drains the buffer to the connection.
+func (w *Writer) Flush() error { return nil }
+
+// WriteCommand serializes one command.
+func (w *Writer) WriteCommand(args ...[]byte) error { return nil }
+
+// WriteRaw writes preserialized bytes.
+func (w *Writer) WriteRaw(b []byte) error { return nil }

@@ -1,0 +1,20 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "lockorder")
+}
+
+// TestRequiresHeld installs a holder requirement — the repo's own table is
+// empty — to exercise the mechanism and its //ctvet:holds satisfaction.
+func TestRequiresHeld(t *testing.T) {
+	old := requiresHeld
+	requiresHeld = map[string]string{"saveMu": "cmdMu"}
+	defer func() { requiresHeld = old }()
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "lockorderreq")
+}

@@ -1,0 +1,111 @@
+// Package lockorder is the analyzer's fixture: rank inversions (including
+// the historical cmdMu-after-saveMu shape), self-reacquisition, stripe
+// arrays in both directions, the //ctvet:holds annotation, and the
+// //ctvet:ignore escape hatch.
+package lockorder
+
+import "sync"
+
+type server struct {
+	cmdMu   sync.Mutex
+	saveMu  sync.Mutex
+	replMu  sync.RWMutex
+	stripes []sync.Mutex
+}
+
+func correctOrder(s *server) {
+	s.cmdMu.Lock()
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+	s.cmdMu.Unlock()
+}
+
+func inverted(s *server) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	s.cmdMu.Lock() // want `acquires cmdMu \(rank 10\) while holding saveMu \(rank 30\)`
+	defer s.cmdMu.Unlock()
+}
+
+func releaseThenTake(s *server) {
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+	s.cmdMu.Lock() // no finding: saveMu was released before cmdMu was taken
+	s.cmdMu.Unlock()
+}
+
+func reacquire(s *server) {
+	s.cmdMu.Lock()
+	s.cmdMu.Lock() // want `reacquires cmdMu already held`
+	s.cmdMu.Unlock()
+}
+
+func rlockCountsToo(s *server) {
+	s.replMu.RLock()
+	s.saveMu.Lock() // want `acquires saveMu \(rank 30\) while holding replMu \(rank 40\)`
+	s.saveMu.Unlock()
+	s.replMu.RUnlock()
+}
+
+func ascendingStripes(s *server) {
+	for i := 0; i < len(s.stripes); i++ {
+		s.stripes[i].Lock()
+	}
+	for i := 0; i < len(s.stripes); i++ {
+		s.stripes[i].Unlock()
+	}
+}
+
+func descendingStripes(s *server) {
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].Lock() // want `stripes acquired under a descending loop over "i"`
+	}
+}
+
+func constIndexInversion(s *server) {
+	s.stripes[2].Lock()
+	s.stripes[1].Lock() // want `acquires stripes\[1\] while already holding stripes\[2\]`
+	s.stripes[1].Unlock()
+	s.stripes[2].Unlock()
+}
+
+func constIndexAscending(s *server) {
+	s.stripes[1].Lock()
+	s.stripes[2].Lock()
+	s.stripes[2].Unlock()
+	s.stripes[1].Unlock()
+}
+
+// calleeWithHolds relies on its caller holding cmdMu; taking saveMu on top
+// respects the order, so declaring the held lock keeps it clean.
+//
+//ctvet:holds cmdMu
+func calleeWithHolds(s *server) {
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+}
+
+// holdsThenInvert declares saveMu held, so taking cmdMu is an inversion
+// even though this body performs only one acquisition itself.
+//
+//ctvet:holds saveMu
+func holdsThenInvert(s *server) {
+	s.cmdMu.Lock() // want `acquires cmdMu \(rank 10\) while holding saveMu \(rank 30\)`
+	s.cmdMu.Unlock()
+}
+
+func suppressedInversion(s *server) {
+	s.saveMu.Lock()
+	s.cmdMu.Lock() //ctvet:ignore fixture: deliberate inversion proving the escape hatch suppresses it
+	s.cmdMu.Unlock()
+	s.saveMu.Unlock()
+}
+
+func goroutineHasOwnDiscipline(s *server) {
+	s.saveMu.Lock()
+	go func() {
+		s.cmdMu.Lock() // no finding: the goroutine body is its own lock scope
+		s.cmdMu.Unlock()
+	}()
+	s.saveMu.Unlock()
+}

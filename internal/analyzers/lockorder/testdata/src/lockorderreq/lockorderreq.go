@@ -1,0 +1,36 @@
+// Package lockorderreq exercises the requiresHeld table — empty in the
+// repo's own order (BGSAVE legitimately takes saveMu alone), so the test
+// installs saveMu→cmdMu before running this fixture.
+package lockorderreq
+
+import "sync"
+
+type server struct {
+	cmdMu  sync.Mutex
+	saveMu sync.Mutex
+}
+
+func takesBare(s *server) {
+	s.saveMu.Lock() // want `acquires saveMu without holding cmdMu`
+	s.saveMu.Unlock()
+}
+
+func takesUnderCmd(s *server) {
+	s.cmdMu.Lock()
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+	s.cmdMu.Unlock()
+}
+
+// callerHolds declares the requirement satisfied by its caller.
+//
+//ctvet:holds cmdMu
+func callerHolds(s *server) {
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+}
+
+func suppressedRequirement(s *server) {
+	s.saveMu.Lock() //ctvet:ignore fixture: deliberate bare acquisition proving suppression
+	s.saveMu.Unlock()
+}

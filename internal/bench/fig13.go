@@ -59,6 +59,7 @@ func runRedisWorkload(e Engine, wl ycsb.Workload, keys [][]byte, ops int, seed i
 	if err != nil {
 		panic(err)
 	}
+	//ctvet:ignore memory-only server (no WAL): Close has nothing durable to flush
 	defer srv.Close()
 
 	loaded := len(keys)

@@ -64,7 +64,11 @@ func replReport(o Options) Report {
 	if err != nil {
 		panic(fmt.Sprintf("repl figure: %v", err))
 	}
-	defer prim.Close()
+	defer func() {
+		if err := prim.Close(); err != nil {
+			panic(fmt.Sprintf("repl figure: close primary: %v", err))
+		}
+	}()
 
 	pc, err := miniredis.Dial(paddr)
 	if err != nil {
@@ -75,6 +79,7 @@ func replReport(o Options) Report {
 	var replicas []*miniredis.Server
 	defer func() {
 		for _, r := range replicas {
+			//ctvet:ignore memory-only replica (no WAL): Close has nothing durable to flush
 			r.Close()
 		}
 	}()

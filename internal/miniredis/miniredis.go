@@ -545,9 +545,11 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Close stops the server, waits for connections and any background save
-// to drain, and cleanly closes the WAL (a clean close loses nothing under
-// any fsync policy).
-func (s *Server) Close() {
+// to drain, and cleanly closes the WAL. The returned error is the WAL
+// close's: that close is the log's final flush+fsync, so discarding it
+// would silently un-durable the tail of acknowledged writes (caught by
+// ctvet's durabilityerr when this method returned nothing).
+func (s *Server) Close() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -560,8 +562,9 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	s.bgWg.Wait()
 	if s.wal != nil {
-		s.wal.Close()
+		return s.wal.Close()
 	}
+	return nil
 }
 
 func (s *Server) acceptLoop() {
@@ -657,7 +660,7 @@ func (s *Server) dropWithError(w *resp.Writer, err error) {
 	if err != io.EOF {
 		w.WriteError(fmt.Sprintf("Protocol error: %v", err))
 	}
-	w.Flush()
+	w.Flush() //ctvet:ignore the connection is being dropped; this flush is best-effort diagnostics, not an ack
 }
 
 // dispatchBatch executes a pipeline of commands. Consecutive ZSCOREs against

@@ -40,7 +40,10 @@ func (s *Server) rejectReadonly(w *resp.Writer) bool {
 	if !s.isReplica() {
 		return false
 	}
-	w.WriteRaw([]byte("-READONLY You can't write against a read only replica.\r\n"))
+	// The write error is sticky in the bufio layer: serve's checked Flush
+	// after the dispatch surfaces it and drops the connection, so no ack
+	// is ever fabricated past a failed reply write.
+	w.WriteRaw([]byte("-READONLY You can't write against a read only replica.\r\n")) //ctvet:ignore sticky bufio error; surfaced by serve's checked Flush
 	return true
 }
 
@@ -258,18 +261,18 @@ func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 func (s *Server) servePSync(conn net.Conn, r *resp.Reader, w *resp.Writer, cs *connState, cmd [][]byte) {
 	if s.repl == nil {
 		w.WriteError("replication requires persistence (start the primary with a data dir)")
-		w.Flush()
+		w.Flush() //ctvet:ignore best-effort error reply on a handshake being rejected; the replica retries either way
 		return
 	}
 	if len(cmd) != 2 {
 		w.WriteError("wrong number of arguments for PSYNC")
-		w.Flush()
+		w.Flush() //ctvet:ignore best-effort error reply on a handshake being rejected; the replica retries either way
 		return
 	}
 	lsn, err := strconv.ParseUint(string(cmd[1]), 10, 64)
 	if err != nil {
 		w.WriteError("invalid PSYNC offset")
-		w.Flush()
+		w.Flush() //ctvet:ignore best-effort error reply on a handshake being rejected; the replica retries either way
 		return
 	}
 	// Preload fence: a bulk load in flight bypasses the WAL, so a snapshot

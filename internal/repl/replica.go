@@ -183,7 +183,9 @@ func (r *Replica) syncOnce() error {
 	if r.cfg.ListenAddr != "" {
 		if _, _, err := net.SplitHostPort(r.cfg.ListenAddr); err == nil {
 			_, port, _ := net.SplitHostPort(r.cfg.ListenAddr)
-			rw.WriteCommand([]byte("REPLCONF"), []byte("listening-port"), []byte(port))
+			if err := rw.WriteCommand([]byte("REPLCONF"), []byte("listening-port"), []byte(port)); err != nil {
+				return err
+			}
 			if err := rw.Flush(); err != nil {
 				return err
 			}
@@ -194,7 +196,9 @@ func (r *Replica) syncOnce() error {
 	}
 
 	offer := r.applied.Load()
-	rw.WriteCommand([]byte("PSYNC"), []byte(strconv.FormatUint(offer, 10)))
+	if err := rw.WriteCommand([]byte("PSYNC"), []byte(strconv.FormatUint(offer, 10))); err != nil {
+		return err
+	}
 	if err := rw.Flush(); err != nil {
 		return err
 	}
@@ -282,8 +286,12 @@ func (r *Replica) ackLoop(conn net.Conn, sig chan struct{}, done chan struct{}) 
 	t := time.NewTicker(time.Second)
 	defer t.Stop()
 	send := func() bool {
-		w.WriteCommand([]byte("REPLCONF"), []byte("ACK"),
-			[]byte(strconv.FormatUint(r.applied.Load(), 10)))
+		// An ACK that fails to serialize or flush must not look sent: the
+		// primary's WAIT accounting trusts these offsets.
+		if err := w.WriteCommand([]byte("REPLCONF"), []byte("ACK"),
+			[]byte(strconv.FormatUint(r.applied.Load(), 10))); err != nil {
+			return false
+		}
 		return w.Flush() == nil
 	}
 	if !send() {
