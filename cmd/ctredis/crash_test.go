@@ -119,6 +119,131 @@ func TestCrashRecoverySmoke(t *testing.T) {
 	}
 }
 
+// TestGroupCommitCrashDrill: 500 PIPELINED writes under -fsync group, then
+// SIGKILL. Group commit withholds a pipeline's replies until one fsync
+// covers its last LSN, so every write the client saw acknowledged must be
+// present after restart — the same contract as fsync=always, at batched
+// cost.
+func TestGroupCommitCrashDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	bin := buildCtredis(t)
+	dir := t.TempDir()
+
+	cmd, addr := startCtredis(t, bin, "-data-dir", dir, "-fsync", "group")
+	cl, err := miniredis.Dial(addr)
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	const writes, pipeline = 500, 50
+	for base := 0; base < writes; base += pipeline {
+		cmds := make([][][]byte, pipeline)
+		for i := range cmds {
+			n := base + i
+			cmds[i] = [][]byte{[]byte("ZADD"), []byte(fmt.Sprintf("set%d", n%8)),
+				[]byte(fmt.Sprintf("m%05d", n)), []byte(fmt.Sprint(n))}
+		}
+		out, err := cl.Pipeline(cmds)
+		if err != nil || len(out) != pipeline {
+			cmd.Process.Kill()
+			t.Fatalf("pipeline at %d: %d replies, %v", base, len(out), err)
+		}
+	}
+	cl.Close()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2, addr2 := startCtredis(t, bin, "-data-dir", dir, "-fsync", "group")
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	cl2, err := miniredis.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if r, err := cl2.Do([]byte("DBSIZE")); err != nil || r != int64(writes) {
+		t.Fatalf("DBSIZE after kill -9 + restart = %v, %v, want %d (group-acked writes lost)", r, err, writes)
+	}
+	if r, _ := cl2.Do([]byte("ZSCORE"), []byte("set3"), []byte("m00123")); string(r.([]byte)) != "123" {
+		t.Fatalf("recovered score = %v", r)
+	}
+}
+
+// TestAsyncAckCrashDrill asserts async mode's WEAKER contract: replies come
+// back before durability, so after a SIGKILL the store must hold at least
+// everything at or below the last DurableLSN the client observed via INFO
+// persistence — not necessarily every acknowledged write.
+func TestAsyncAckCrashDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	bin := buildCtredis(t)
+	dir := t.TempDir()
+
+	cmd, addr := startCtredis(t, bin, "-data-dir", dir, "-fsync", "async")
+	cl, err := miniredis.Dial(addr)
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	const writes = 500
+	for i := 0; i < writes; i++ {
+		// Unique members across one set: LSN i+1 is exactly write i, so the
+		// durable watermark translates directly into a key count.
+		r, err := cl.Do([]byte("ZADD"), []byte("s"), []byte(fmt.Sprintf("m%05d", i)), []byte(fmt.Sprint(i)))
+		if err != nil || r != int64(1) {
+			cmd.Process.Kill()
+			t.Fatalf("ZADD #%d = %v, %v", i, r, err)
+		}
+	}
+	info, err := cl.Do([]byte("INFO"), []byte("persistence"))
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	var durable int64 = -1
+	for _, line := range strings.Split(string(info.([]byte)), "\r\n") {
+		if rest, ok := strings.CutPrefix(line, "aof_durable_lsn:"); ok {
+			fmt.Sscanf(rest, "%d", &durable)
+		}
+	}
+	if durable < 0 {
+		cmd.Process.Kill()
+		t.Fatal("INFO persistence did not report aof_durable_lsn")
+	}
+	cl.Close()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2, addr2 := startCtredis(t, bin, "-data-dir", dir, "-fsync", "async")
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	cl2, err := miniredis.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	r, err := cl2.Do([]byte("DBSIZE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.(int64); got < durable {
+		t.Fatalf("DBSIZE after crash = %d, but DurableLSN promised ≥ %d records", got, durable)
+	} else if got > int64(writes) {
+		t.Fatalf("DBSIZE after crash = %d > %d writes ever made", got, writes)
+	}
+}
+
 // TestReplicationCrashDrill is the replication drill CI runs: a persistent
 // primary and a -replicaof read replica as separate processes, 500 writes
 // each confirmed replicated with WAIT 1, then SIGKILL the primary — the

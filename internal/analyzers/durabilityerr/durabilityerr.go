@@ -39,7 +39,8 @@ var watchedCalls = []watched{
 	// WAL: the write path itself.
 	{"persist", "WAL", "Append"},
 	{"persist", "WAL", "Sync"},
-	{"persist", "WAL", "Close"}, // close = final flush+fsync: a dropped error loses the tail
+	{"persist", "WAL", "Commit"}, // the group-commit ack barrier: a dropped error acks an unsynced pipeline
+	{"persist", "WAL", "Close"},  // close = final flush+fsync: a dropped error loses the tail
 	// Snapshots.
 	{"persist", "", "WriteSnapshot"},
 	{"persist", "", "SaveIndex"},

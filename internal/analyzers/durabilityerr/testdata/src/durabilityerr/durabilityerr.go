@@ -10,6 +10,7 @@ import (
 
 func discards(w *persist.WAL, rw *resp.Writer) {
 	w.Sync()                   // want `error from \(persist\.WAL\)\.Sync is discarded`
+	w.Commit(7)                // want `error from \(persist\.WAL\)\.Commit is discarded`
 	rw.Flush()                 // want `error from \(resp\.Writer\)\.Flush is discarded`
 	rw.WriteRaw(nil)           // want `error from \(resp\.Writer\)\.WriteRaw is discarded`
 	persist.WriteSnapshot("x") // want `error from persist\.WriteSnapshot is discarded`
@@ -17,6 +18,7 @@ func discards(w *persist.WAL, rw *resp.Writer) {
 
 func blanks(w *persist.WAL, rw *resp.Writer) {
 	_ = w.Sync()            // want `error from \(persist\.WAL\)\.Sync is assigned to _`
+	_ = w.Commit(7)         // want `error from \(persist\.WAL\)\.Commit is assigned to _`
 	lsn, _ := w.Append(nil) // want `error from \(persist\.WAL\)\.Append is assigned to _`
 	_ = lsn
 	_ = rw.WriteCommand(nil) // want `error from \(resp\.Writer\)\.WriteCommand is assigned to _`

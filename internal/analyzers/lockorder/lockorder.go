@@ -21,11 +21,24 @@
 // below. //ctvet:ignore <reason> suppresses a finding; a function whose
 // caller guarantees a lock is held can declare //ctvet:holds <lock> on
 // the line above its declaration.
+//
+// Group commit adds a second protocol on top of the order: WAL.Commit
+// PARKS the calling goroutine until the group syncer's fsync covers its
+// LSN. The syncer only ever takes the WAL's own mutex, so a writer that
+// parks while holding a lock the append path needs — cmdMu on a serial
+// server, a per-stripe write mutex, a keyspace stripe — stalls the very
+// writers whose records would share its fsync: best case the batch
+// degrades to one writer per cycle, worst case (serial dispatch behind
+// cmdMu) nothing ever feeds the syncer again. The parkCalls table flags
+// any park performed while one of those locks is held in the same
+// function; the ack barrier belongs after dispatch releases them and
+// before the reply flush.
 package lockorder
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strconv"
 	"strings"
 
@@ -62,10 +75,35 @@ var lockArrays = map[string]bool{
 // the requirement for callees whose callers take the lock.
 var requiresHeld = map[string]string{}
 
+// parkCall names one call that parks its goroutine on the group syncer's
+// durability watermark, matched by import-path suffix (so testdata stubs
+// qualify), receiver type, and method name — the same resolution the
+// durabilityerr analyzer uses.
+type parkCall struct {
+	pkg  string // import path suffix, e.g. "persist"
+	recv string // named receiver type
+	name string
+}
+
+// parkCalls is the registry of parking calls. WAL.Commit blocks until a
+// coalesced fsync covers the given LSN; under fsync=group that fsync only
+// happens once enough writers have appended, so the caller must not be
+// holding anything those writers need.
+var parkCalls = []parkCall{
+	{"persist", "WAL", "Commit"},
+}
+
+// parkForbids lists the table locks the append path needs and that are
+// therefore forbidden across a park: cmdMu serializes dispatch on serial
+// servers (a park under it starves the syncer outright), and the
+// writeMus/stripes arrays serialize per-key apply+append.
+var parkForbids = []string{"cmdMu", "writeMus", "stripes"}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "check Lock/RLock sequences against the repo's global lock order " +
-		"(cmdMu → bulkMu → saveMu → replMu → stripe locks ascending)",
+		"(cmdMu → bulkMu → saveMu → replMu → stripe locks ascending), and " +
+		"that WAL.Commit never parks while a lock the append path needs is held",
 	Run: run,
 }
 
@@ -267,6 +305,15 @@ func descendingLoopVar(st *ast.ForStmt) string {
 // call classifies one call expression, updating the held set and
 // reporting violations.
 func (s *state) call(call *ast.CallExpr, deferred bool) {
+	if park := parkedCall(s.pass, call); park != "" {
+		for _, lock := range parkForbids {
+			if _, held := s.held[lock]; held {
+				s.pass.Reportf(call.Pos(),
+					"parks on %s while holding %s; a parked writer must not hold any lock the append path needs — release it before the ack barrier (see miniredis serve)",
+					park, lock)
+			}
+		}
+	}
 	name, method, idx := lockCall(call)
 	if name == "" {
 		return
@@ -382,4 +429,68 @@ func lockCall(call *ast.CallExpr) (name, method string, idx ast.Expr) {
 		}
 	}
 	return "", "", nil
+}
+
+// parkedCall resolves a call's callee against the parkCalls table,
+// returning a printable name like "(persist.WAL).Commit" when it parks,
+// "" otherwise. Resolution is by type, not field name: any expression
+// whose static callee is the registered method matches, however the WAL
+// is reached.
+func parkedCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := recvTypeName(sig.Recv().Type())
+	for _, p := range parkCalls {
+		if p.name == fn.Name() && p.recv == recv && pkgIs(fn.Pkg(), p.pkg) {
+			return "(" + p.pkg + "." + p.recv + ")." + p.name
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves a call expression to its static *types.Func, nil
+// when the callee is not a named function/method (indirect calls,
+// conversions).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// pkgIs matches a package against a table entry by import-path suffix:
+// the real repro/internal/persist and a testdata stub named persist both
+// qualify.
+func pkgIs(pkg *types.Package, name string) bool {
+	path := pkg.Path()
+	return path == name || strings.HasSuffix(path, "/"+name)
 }

@@ -1,16 +1,22 @@
 // Package lockorder is the analyzer's fixture: rank inversions (including
 // the historical cmdMu-after-saveMu shape), self-reacquisition, stripe
-// arrays in both directions, the //ctvet:holds annotation, and the
-// //ctvet:ignore escape hatch.
+// arrays in both directions, the //ctvet:holds annotation, the
+// //ctvet:ignore escape hatch, and the group-commit park-on-LSN protocol
+// (WAL.Commit must not park while a lock the append path needs is held).
 package lockorder
 
-import "sync"
+import (
+	"persist"
+	"sync"
+)
 
 type server struct {
-	cmdMu   sync.Mutex
-	saveMu  sync.Mutex
-	replMu  sync.RWMutex
-	stripes []sync.Mutex
+	cmdMu    sync.Mutex
+	saveMu   sync.Mutex
+	replMu   sync.RWMutex
+	stripes  []sync.Mutex
+	writeMus []sync.Mutex
+	wal      *persist.WAL
 }
 
 func correctOrder(s *server) {
@@ -108,4 +114,43 @@ func goroutineHasOwnDiscipline(s *server) {
 		s.cmdMu.Unlock()
 	}()
 	s.saveMu.Unlock()
+}
+
+// parkUnderCmdMu is the serial-dispatch deadlock shape: a writer parked
+// under cmdMu blocks every other writer's append, so the syncer never
+// gets the batch that would release the parker.
+func parkUnderCmdMu(s *server) {
+	s.cmdMu.Lock()
+	s.wal.Commit(7) // want `parks on \(persist\.WAL\)\.Commit while holding cmdMu`
+	s.cmdMu.Unlock()
+}
+
+// parkUnderStripe starves every writer hashing to the held stripe.
+func parkUnderStripe(s *server) {
+	s.writeMus[1].Lock()
+	s.wal.Commit(7) // want `parks on \(persist\.WAL\)\.Commit while holding writeMus`
+	s.writeMus[1].Unlock()
+}
+
+// parkAfterRelease is the correct ack-barrier shape: apply+append under
+// the locks, release everything, then park on the batch's last LSN.
+func parkAfterRelease(s *server) {
+	s.cmdMu.Lock()
+	lsn, _ := s.wal.Append(1, nil, nil, nil)
+	s.cmdMu.Unlock()
+	s.wal.Commit(lsn) // no finding: every append-path lock was released first
+}
+
+// parkUnderSaveMu is clean: the append path never takes saveMu, so a
+// snapshot-holding caller may park without starving the syncer.
+func parkUnderSaveMu(s *server) {
+	s.saveMu.Lock()
+	s.wal.Commit(7)
+	s.saveMu.Unlock()
+}
+
+func suppressedPark(s *server) {
+	s.cmdMu.Lock()
+	s.wal.Commit(7) //ctvet:ignore fixture: deliberate park proving the escape hatch suppresses it
+	s.cmdMu.Unlock()
 }

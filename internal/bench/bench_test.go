@@ -37,8 +37,8 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 		{"load", func(o Options, b *bytes.Buffer) { o.Shards = 4; FigLoad(b, o) },
 			[]string{"CuckooTrie", "hash-x2", "range-x4", "sampled-x2", "router", "GOMAXPROCS=", "az", "reddit", "balance"}},
 		{"persist", func(o Options, b *bytes.Buffer) { o.Keys, o.Ops = 3000, 3000; FigPersist(b, o) },
-			[]string{"CuckooTrie-sampled-x4", "load-mem", "snapshot", "recover", "wal-always", "replay",
-				"recovered balance", "GOMAXPROCS="}},
+			[]string{"CuckooTrie-sampled-x4", "load-mem", "snapshot", "recover", "wal-always", "wal-group", "wal-async", "replay",
+				"recovered balance", "GOMAXPROCS=", "8 concurrent writers"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -275,6 +275,9 @@ func TestJSONReports(t *testing.T) {
 			}
 			if balance <= 0 {
 				t.Fatal("sampled recovery row carries no balance (router not trained from the snapshot stream?)")
+			}
+			if rep.Writers != walGroupWriters {
+				t.Fatalf("persist report writers banner = %d, want %d", rep.Writers, walGroupWriters)
 			}
 		}},
 		"repl": {FigReplJSON, func(t *testing.T, rep Report) {

@@ -22,7 +22,11 @@ type Report struct {
 	Ops        int    `json:"ops"`
 	Seed       int64  `json:"seed"`
 	MaxShards  int    `json:"max_shards,omitempty"`
-	Rows       []Row  `json:"rows"`
+	// Writers is the concurrent pipelined-writer count behind the persist
+	// figure's group-commit cells (wal-group/wal-async): the coalescing win
+	// only exists relative to how many writers share each fsync.
+	Writers int   `json:"writers,omitempty"`
+	Rows    []Row `json:"rows"`
 }
 
 // Row is one measured cell: which engine, on which dataset, under which

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/persist"
@@ -234,12 +235,15 @@ type Server struct {
 	cmdMu    sync.Mutex
 
 	// Persistence (nil/zero when the server is memory-only).
-	wal       *persist.WAL
-	dataDir   string
-	snapEvery int          // logged writes between automatic BGSAVEs
-	sinceSave atomic.Int64 // logged writes since the last snapshot
-	saving    atomic.Bool  // one BGSAVE at a time
-	saveMu    sync.Mutex   // serializes snapshot cuts (SAVE vs BGSAVE)
+	wal        *persist.WAL
+	dataDir    string
+	fsyncPol   persist.FsyncPolicy
+	snapEvery  int          // logged writes between automatic BGSAVEs
+	rewriteAt  int64        // WAL bytes since last snapshot that trigger one; 0 disables
+	sinceSave  atomic.Int64 // logged writes since the last snapshot
+	savedBytes atomic.Int64 // WAL AppendedBytes watermark at the last snapshot cut
+	saving     atomic.Bool  // one BGSAVE at a time
+	saveMu     sync.Mutex   // serializes snapshot cuts (SAVE vs BGSAVE)
 	// quiesceSaves: the engine is not concurrent-safe, so snapshot cursors
 	// cannot run against live writers — saves must hold cmdMu (taken
 	// BEFORE saveMu; dispatch already holds cmdMu when it calls save, so
@@ -310,6 +314,15 @@ type PersistOptions struct {
 	SnapshotEvery int   // logged writes between automatic BGSAVEs; 0 disables
 	SegmentBytes  int64 // WAL segment rotation threshold; 0 = persist default
 	FanoutBytes   int   // replication fan-out ring bound; 0 = repl default
+	// GroupMaxDelay is the group-commit coalescing window under
+	// FsyncGroup/FsyncAsync; 0 = persist default (2ms), negative = none.
+	GroupMaxDelay time.Duration
+	// AutoRewriteBytes caps the WAL tail's estimated replay cost: once the
+	// record bytes appended since the last snapshot exceed it, a background
+	// snapshot (the BGSAVE + RemoveObsolete path) rewrites the log
+	// automatically, independent of the SnapshotEvery record cadence.
+	// 0 disables.
+	AutoRewriteBytes int64
 }
 
 // EnablePersistenceWithOptions is EnablePersistence with explicit tuning.
@@ -338,11 +351,17 @@ func (s *Server) EnablePersistenceWithOptions(dir string, opts PersistOptions) (
 	// FloorLSN: a durable snapshot can be ahead of an unsynced WAL tail
 	// after a crash; new LSNs must start past everything recovery used, or
 	// the next recovery's LSN filter would skip acknowledged writes.
-	wal, err := persist.OpenWAL(dir, persist.WALOptions{Policy: opts.Policy, SegmentBytes: opts.SegmentBytes, FloorLSN: res.LastLSN})
+	wal, err := persist.OpenWAL(dir, persist.WALOptions{
+		Policy:        opts.Policy,
+		SegmentBytes:  opts.SegmentBytes,
+		FloorLSN:      res.LastLSN,
+		GroupMaxDelay: opts.GroupMaxDelay,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s.wal, s.dataDir, s.snapEvery = wal, dir, opts.SnapshotEvery
+	s.fsyncPol, s.rewriteAt = opts.Policy, opts.AutoRewriteBytes
 	// A durable server can feed read replicas: every WAL append publishes
 	// its wire frame into the fan-out ring, in LSN order because the hook
 	// runs under the WAL's own mutex.
@@ -416,6 +435,14 @@ func (s *Server) logWrite(op persist.Op, set string, key []byte, val uint64) (ui
 	if s.snapEvery > 0 && s.sinceSave.Add(1) >= int64(s.snapEvery) {
 		s.sinceSave.Store(0)
 		s.BGSave()
+	} else if s.rewriteAt > 0 && s.wal.AppendedBytes()-s.savedBytes.Load() >= s.rewriteAt {
+		// Automatic log rewrite: the WAL tail past the last snapshot has
+		// grown beyond the replay-cost budget, so compact it into a snapshot
+		// (BGSave ends with RemoveObsolete, which drops the covered
+		// segments). BGSave's one-at-a-time CAS dedupes the burst of writes
+		// that all see the budget exceeded before the cut resets the
+		// watermark.
+		s.BGSave()
 	}
 	return lsn, nil
 }
@@ -458,6 +485,9 @@ func (s *Server) cutSnapshot() (uint64, string, error) {
 	// cursors see it; records > lsn replay idempotently on top whether or
 	// not the cursors caught them.
 	lsn := s.wal.LSN()
+	// Reset the auto-rewrite budget at the same point the snapshot LSN is
+	// captured: bytes logged at or below lsn are about to be covered.
+	s.savedBytes.Store(s.wal.AppendedBytes())
 	sets := s.ks.snapshotSets()
 	path, err := persist.WriteSnapshot(s.dataDir, lsn, sets)
 	if err != nil {
@@ -622,10 +652,25 @@ func (s *Server) serve(conn net.Conn) {
 		// A lone WAIT dispatches outside cmdMu: it blocks until replicas
 		// ack, and a serial server must keep executing the very writes the
 		// replicas need to ack while it waits.
+		prevWrite := cs.lastWrite
 		if len(batch) == 1 && len(batch[0]) > 0 && strings.EqualFold(string(batch[0][0]), "WAIT") {
-			s.cmdWait(w, cs, batch[0])
+			s.cmdWait(w, cs, batch[0], false)
 		} else {
 			s.dispatchBatch(w, batch, cs)
+		}
+		// Group commit's ack barrier: the batch's replies are still only
+		// buffered in w, so parking here — after dispatch released cmdMu and
+		// the stripe write mutexes, before the flush that acknowledges —
+		// delays nothing but this connection while one fsync covers the
+		// whole pipeline. Async mode skips the wait: replies flush
+		// immediately and DurableLSN reports how far durability lags.
+		if s.fsyncPol == persist.FsyncGroup && cs.lastWrite > prevWrite {
+			if cerr := s.wal.Commit(cs.lastWrite); cerr != nil {
+				// The buffered replies contain acks for writes that never
+				// became durable: drop the connection without flushing them.
+				// A reset connection promises nothing; a flushed ":1" does.
+				return
+			}
 		}
 		if err != nil { // tail read error: answer what we got, then drop
 			s.dropWithError(w, err)
@@ -882,7 +927,7 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte, cs *connState) {
 		// (a lone WAIT bypasses cmdMu in serve). Waiting here under cmdMu
 		// only delays other clients, never the acks themselves: replica
 		// appliers and ack readers run outside this server's command loop.
-		s.cmdWait(w, cs, cmd)
+		s.cmdWait(w, cs, cmd, true)
 	case "INFO":
 		s.cmdInfo(w, cmd)
 	default:

@@ -189,7 +189,7 @@ func (s *Server) cmdReplconf(w *resp.Writer, cs *connState, cmd [][]byte) {
 // given number of replicas have acknowledged this connection's last write
 // (timeout 0 = indefinitely) and replies with the count that had at that
 // moment. With no replication manager the answer is always 0.
-func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte) {
+func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte, underCmd bool) {
 	if len(cmd) != 3 {
 		w.WriteError("wrong number of arguments for WAIT")
 		return
@@ -200,6 +200,20 @@ func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte) {
 		w.WriteError("value is not an integer or out of range")
 		return
 	}
+	// Local durability before replica counting: WAIT's reply must never
+	// claim more than the log can back (acks must not run ahead of
+	// durability, even though replication shipping may). Under group/async
+	// this parks on the group syncer; under the inline policies Commit
+	// syncs on the spot. The one exception is a WAIT pipelined into a
+	// serial server's batch: it runs under cmdMu, where parking would stall
+	// the very command loop that feeds the syncer's batches — there the
+	// post-batch barrier in serve (group mode) gates the flush instead.
+	if s.wal != nil && cs.lastWrite > 0 && !(underCmd && s.serial) {
+		if err := s.wal.Commit(cs.lastWrite); err != nil {
+			w.WriteError("persistence: " + err.Error())
+			return
+		}
+	}
 	if s.repl == nil {
 		w.WriteInt(0)
 		return
@@ -208,16 +222,24 @@ func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte) {
 	w.WriteInt(int64(got))
 }
 
-// cmdInfo handles INFO [section]; only the replication section carries
-// real content. Fields follow Redis's spelling where one exists so existing
-// tooling parses them.
+// cmdInfo handles INFO [section]; the replication and persistence sections
+// carry real content. Fields follow Redis's spelling where one exists so
+// existing tooling parses them.
 func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 	if len(cmd) > 2 {
 		w.WriteError("wrong number of arguments for INFO")
 		return
 	}
-	if len(cmd) == 2 && !strings.EqualFold(string(cmd[1]), "replication") {
+	wantRepl := len(cmd) < 2 || strings.EqualFold(string(cmd[1]), "replication")
+	wantPersist := len(cmd) < 2 || strings.EqualFold(string(cmd[1]), "persistence")
+	if !wantRepl && !wantPersist {
 		w.WriteBulk([]byte{})
+		return
+	}
+	if !wantRepl {
+		var b strings.Builder
+		s.appendPersistenceInfo(&b)
+		w.WriteBulk([]byte(b.String()))
 		return
 	}
 	var b strings.Builder
@@ -252,7 +274,26 @@ func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 			fmt.Fprintf(&b, "slave%d:ip=%s,port=%s,ack_offset=%d,lag=%d\r\n", i, host, port, r.Acked, lag)
 		}
 	}
+	if wantPersist {
+		b.WriteString("\r\n")
+		s.appendPersistenceInfo(&b)
+	}
 	w.WriteBulk([]byte(b.String()))
+}
+
+// appendPersistenceInfo writes the "# Persistence" INFO section: the fsync
+// policy, the last assigned LSN, and the durable watermark — the pair that
+// makes async mode's ack-vs-durable gap observable (aof_last_lsn -
+// aof_durable_lsn is exactly the writes a crash right now would lose).
+func (s *Server) appendPersistenceInfo(b *strings.Builder) {
+	b.WriteString("# Persistence\r\n")
+	if s.wal == nil {
+		b.WriteString("aof_enabled:0\r\n")
+		return
+	}
+	last, durable := s.wal.LSN(), s.wal.DurableLSN()
+	fmt.Fprintf(b, "aof_enabled:1\r\nappendfsync:%s\r\naof_last_lsn:%d\r\naof_durable_lsn:%d\r\naof_pending_records:%d\r\naof_appended_bytes:%d\r\n",
+		s.fsyncPol, last, durable, last-durable, s.wal.AppendedBytes())
 }
 
 // servePSync hands a connection over to the replication manager for the

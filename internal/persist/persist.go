@@ -19,8 +19,11 @@
 //
 // Durability contract: write operations are logged after they apply
 // (Redis-AOF style), so a crash loses at most the unsynced tail permitted
-// by the fsync policy — nothing on FsyncAlways, up to a second of writes on
-// FsyncEverySec, up to the OS flush interval on FsyncNo. Snapshots are
+// by the fsync policy — nothing on FsyncAlways, nothing ACKNOWLEDGED on
+// FsyncGroup (writers park on WAL.Commit until the group syncer's fsync
+// covers their LSN), up to one group cycle past the DurableLSN watermark on
+// FsyncAsync, up to a second of writes on FsyncEverySec, up to the OS flush
+// interval on FsyncNo. Snapshots are
 // written to a temp file, fsynced, and renamed, so a crashed snapshot never
 // shadows a good older one; replay after a snapshot at LSN L applies only
 // records with LSN > L, and every record type is idempotent, so a record
@@ -51,6 +54,22 @@ const (
 	// FsyncNo leaves flushing to the OS: fastest, loses up to the kernel's
 	// writeback interval on a crash (still nothing on a clean close).
 	FsyncNo
+	// FsyncGroup is group commit: appends only buffer the record, and a
+	// single syncer goroutine coalesces everything buffered since the last
+	// sync into one flush+fsync. Writers that need durability park on their
+	// record's LSN via WAL.Commit and are woken once the durable watermark
+	// passes it — one fsync acknowledges a whole pipeline of writes. An
+	// acknowledged (Commit-returned) write is never lost; the cost per
+	// writer is at most one group cycle (GroupMaxDelay + one fsync), not
+	// one fsync per operation.
+	FsyncGroup
+	// FsyncAsync is group commit without the wait: the same syncer batches
+	// fsyncs continuously, but callers are expected NOT to park on Commit —
+	// they acknowledge immediately and expose the DurableLSN watermark
+	// (WAIT/INFO style) so clients can see how far durability lags the ack.
+	// A crash loses at most the records past the watermark, typically a few
+	// milliseconds of writes rather than everysec's full second.
+	FsyncAsync
 )
 
 // ParseFsyncPolicy maps the ctredis flag spelling to a policy.
@@ -62,8 +81,12 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 		return FsyncEverySec, nil
 	case "no":
 		return FsyncNo, nil
+	case "group":
+		return FsyncGroup, nil
+	case "async":
+		return FsyncAsync, nil
 	}
-	return 0, fmt.Errorf("persist: unknown fsync policy %q (want always, everysec or no)", s)
+	return 0, fmt.Errorf("persist: unknown fsync policy %q (want always, everysec, no, group or async)", s)
 }
 
 // String returns the flag spelling of the policy.
@@ -75,6 +98,10 @@ func (p FsyncPolicy) String() string {
 		return "everysec"
 	case FsyncNo:
 		return "no"
+	case FsyncGroup:
+		return "group"
+	case FsyncAsync:
+		return "async"
 	}
 	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
 }

@@ -545,7 +545,7 @@ func TestSampledRouterTrainsFromSnapshotStream(t *testing.T) {
 // everysec's background flusher makes unclosed appends durable within ~1s
 // (checked via file growth, not a crash, to keep the test hermetic).
 func TestFsyncPolicies(t *testing.T) {
-	for _, pol := range []persist.FsyncPolicy{persist.FsyncAlways, persist.FsyncEverySec, persist.FsyncNo} {
+	for _, pol := range []persist.FsyncPolicy{persist.FsyncAlways, persist.FsyncEverySec, persist.FsyncNo, persist.FsyncGroup, persist.FsyncAsync} {
 		t.Run(pol.String(), func(t *testing.T) {
 			dir := t.TempDir()
 			wal, err := persist.OpenWAL(dir, persist.WALOptions{Policy: pol})

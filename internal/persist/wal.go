@@ -51,6 +51,13 @@ func parseWalName(name string) (uint64, bool) {
 	return lsn, err == nil
 }
 
+// DefaultGroupMaxDelay is the group syncer's coalescing window: after the
+// first unsynced append is noticed, the syncer waits this long for more
+// writers to join the batch before issuing the flush+fsync. Small enough
+// that a parked writer's latency stays in the low milliseconds, large
+// enough that a pipelined burst lands in one fsync.
+const DefaultGroupMaxDelay = 2 * time.Millisecond
+
 // WALOptions configure OpenWAL. The zero value means FsyncEverySec and
 // DefaultSegmentBytes.
 type WALOptions struct {
@@ -65,6 +72,15 @@ type WALOptions struct {
 	// reuse LSNs the snapshot already covers — acknowledged post-restart
 	// writes would be silently skipped by the next recovery's LSN filter.
 	FloorLSN uint64
+	// GroupMaxDelay bounds how long the FsyncGroup/FsyncAsync syncer waits
+	// to coalesce a batch before fsyncing: 0 means DefaultGroupMaxDelay,
+	// negative means no artificial delay (the fsync duration itself is the
+	// only batching window). Ignored under other policies.
+	GroupMaxDelay time.Duration
+	// FsyncFn overrides how a segment file reaches stable storage (default
+	// (*os.File).Sync). A seam for fault injection in tests and for
+	// platforms preferring fdatasync.
+	FsyncFn func(*os.File) error
 }
 
 // WAL is a segmented append-only log. Appends are safe for concurrent use;
@@ -81,6 +97,16 @@ type WAL struct {
 	encBuf  []byte
 	closed  bool
 	syncErr error // sticky background fsync failure, surfaced on Append
+
+	durable  uint64 // highest LSN known to be fsynced to stable storage
+	appended int64  // cumulative record bytes this session (auto-rewrite budget input)
+	finished bool   // Close ran its final sync: Commit waiters must not park
+
+	// commitCond (on mu) wakes Commit waiters whenever durable advances, a
+	// sticky sync error lands, or Close finishes — every parked writer
+	// re-checks its LSN against the watermark, so one fsync releases a whole
+	// pipeline and one failure fans out to all of them.
+	commitCond *sync.Cond
 	// onAppend, when set, observes every appended record — called under the
 	// WAL mutex with the record's LSN and its complete wire frame, so
 	// observation order is exactly LSN order (the property a replication
@@ -90,6 +116,17 @@ type WAL struct {
 
 	stop chan struct{} // everysec flusher shutdown
 	done chan struct{}
+
+	syncCond   *sync.Cond    // wakes the group syncer when unsynced appends exist
+	syncerDone chan struct{} // closed when the group syncer exits
+}
+
+// fsync pushes f to stable storage through the configured seam.
+func (w *WAL) fsync(f *os.File) error {
+	if w.opts.FsyncFn != nil {
+		return w.opts.FsyncFn(f)
+	}
+	return f.Sync()
 }
 
 // OpenWAL opens (creating if needed) the WAL in dir for appending. An
@@ -101,10 +138,14 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
+	if opts.GroupMaxDelay == 0 {
+		opts.GroupMaxDelay = DefaultGroupMaxDelay
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	w := &WAL{dir: dir, opts: opts, next: 1}
+	w.commitCond = sync.NewCond(&w.mu)
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -127,10 +168,18 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 			w.next = opts.FloorLSN + 1
 		}
 	}
-	if opts.Policy == FsyncEverySec {
+	// Everything on disk at open is the recovery baseline: durable by
+	// definition as far as this session's acknowledgements are concerned.
+	w.durable = w.next - 1
+	switch opts.Policy {
+	case FsyncEverySec:
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
 		go w.flushLoop()
+	case FsyncGroup, FsyncAsync:
+		w.syncCond = sync.NewCond(&w.mu)
+		w.syncerDone = make(chan struct{})
+		go w.groupSyncLoop()
 	}
 	return w, nil
 }
@@ -195,7 +244,7 @@ func (w *WAL) createSegment(firstLSN uint64) error {
 		f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := w.fsync(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -229,14 +278,23 @@ func (w *WAL) Append(op Op, set string, key []byte, val uint64) (uint64, error) 
 	}
 	w.next++
 	w.written += int64(len(frame))
+	w.appended += int64(len(frame))
 	if w.onAppend != nil {
 		// Under w.mu: fan-out subscribers see records in LSN order.
 		w.onAppend(op, lsn, frame)
 	}
-	if w.opts.Policy == FsyncAlways {
+	switch w.opts.Policy {
+	case FsyncAlways:
 		if err := w.syncLocked(); err != nil {
 			return 0, err
 		}
+	case FsyncGroup, FsyncAsync:
+		// The record is only buffered; wake the group syncer and return.
+		// Rotation is the syncer's job under these policies — it may be
+		// fsyncing w.f outside the mutex right now, so nothing else is
+		// allowed to close the segment file out from under it.
+		w.syncCond.Signal()
+		return lsn, nil
 	}
 	if w.written >= w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
@@ -262,7 +320,14 @@ func (w *WAL) syncLocked() error {
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.fsync(w.f); err != nil {
+		return err
+	}
+	if w.next-1 > w.durable {
+		w.durable = w.next - 1
+		w.commitCond.Broadcast()
+	}
+	return nil
 }
 
 // Sync flushes buffered appends and fsyncs the current segment.
@@ -273,6 +338,61 @@ func (w *WAL) Sync() error {
 		return ErrWALClosed
 	}
 	return w.syncLocked()
+}
+
+// DurableLSN returns the highest LSN known to have reached stable storage —
+// the async-ack watermark: a crash can lose only records past it.
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// AppendedBytes returns the cumulative record bytes appended this session,
+// monotone across rotations — callers diff it against a saved watermark to
+// estimate the replay cost accumulated since their last snapshot.
+func (w *WAL) AppendedBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Commit blocks until every record with LSN ≤ lsn is durable, and is the
+// park-on-LSN half of group commit: under FsyncGroup/FsyncAsync the caller
+// sleeps on the commit condition while the syncer batches fsyncs, so N
+// pipelined writers are released by one fsync instead of issuing N. Under
+// the other policies it syncs inline when the watermark hasn't caught up
+// (a durability barrier that works everywhere, e.g. for WAIT). A sticky
+// sync error fails every parked and future Commit; after Close, waiters
+// whose LSN the final sync did not cover get ErrWALClosed.
+//
+// Callers must not hold locks that the append path needs while parked —
+// in miniredis terms: never call Commit with cmdMu or a per-stripe write
+// mutex held, or the writers that would have shared this fsync deadlock
+// behind the barrier (ctvet's lockorder analyzer enforces this).
+func (w *WAL) Commit(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn >= w.next {
+		return fmt.Errorf("persist: Commit(%d) past last assigned LSN %d", lsn, w.next-1)
+	}
+	for w.durable < lsn {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.finished {
+			return ErrWALClosed
+		}
+		if w.syncCond == nil {
+			// No syncer under this policy: make the tail durable inline.
+			if err := w.syncLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		w.commitCond.Wait()
+	}
+	return nil
 }
 
 // SetOnAppend installs the append observer (see the field comment). Call
@@ -296,7 +416,11 @@ func (w *WAL) LSN() uint64 {
 func (w *WAL) Dir() string { return w.dir }
 
 // Close flushes, fsyncs and closes the WAL. A cleanly closed WAL loses
-// nothing under any fsync policy.
+// nothing under any fsync policy. Background goroutines are stopped before
+// the segment file is touched, so a group sync pending at Close completes
+// (its parked writers are released with their durability intact) — or, if
+// the final sync fails, every parked writer gets the error; either way no
+// waiter is left parked and no goroutine leaks.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -304,18 +428,39 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
-	err := w.bw.Flush()
-	if serr := w.f.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := w.f.Close(); err == nil {
-		err = cerr
+	if w.syncCond != nil {
+		w.syncCond.Signal()
 	}
 	w.mu.Unlock()
 	if w.stop != nil {
 		close(w.stop)
 		<-w.done
 	}
+	if w.syncerDone != nil {
+		// The syncer drains everything buffered (it may be mid-fsync on w.f
+		// right now, which is why the file must not be closed yet) and exits
+		// once durable has caught up or a sync error poisoned the WAL.
+		<-w.syncerDone
+	}
+	w.mu.Lock()
+	err := w.bw.Flush()
+	if serr := w.fsync(w.f); err == nil {
+		err = serr
+	}
+	if err == nil && w.next-1 > w.durable {
+		w.durable = w.next - 1
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = w.syncErr
+	} else if w.syncErr == nil {
+		w.syncErr = err // poison: late Commit callers must not report durability
+	}
+	w.finished = true
+	w.commitCond.Broadcast()
+	w.mu.Unlock()
 	return err
 }
 
@@ -340,6 +485,80 @@ func (w *WAL) flushLoop() {
 			w.mu.Unlock()
 		}
 	}
+}
+
+// groupSyncLoop is the FsyncGroup/FsyncAsync syncer: one goroutine that
+// coalesces everything buffered since the last sync into a single
+// flush+fsync, advances the durable watermark, and wakes every Commit
+// waiter at or below it. The fsync itself runs OUTSIDE the WAL mutex
+// against a captured *os.File, so appends keep buffering (and the fan-out
+// keeps publishing) while the disk works — the fsync duration is itself a
+// batching window. The syncer owns rotation under these policies, which is
+// what makes the captured file safe: nothing else closes w.f while the
+// syncer lives. It must never take locks outside the WAL — in particular
+// no miniredis stripe/write mutexes — since writers park on its progress
+// while holding none (ctvet's lockorder analyzer enforces the protocol).
+func (w *WAL) groupSyncLoop() {
+	defer close(w.syncerDone)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		for w.durable == w.next-1 && !w.closed && w.syncErr == nil {
+			w.syncCond.Wait()
+		}
+		if w.syncErr != nil {
+			w.commitCond.Broadcast()
+			return
+		}
+		if w.durable == w.next-1 {
+			return // closed and fully durable: Close finishes up
+		}
+		if w.opts.GroupMaxDelay > 0 && !w.closed {
+			// Coalescing window: let more writers join this batch. Skipped
+			// when closing so shutdown drains at full speed.
+			w.mu.Unlock()
+			time.Sleep(w.opts.GroupMaxDelay)
+			w.mu.Lock()
+		}
+		if err := w.bw.Flush(); err != nil {
+			w.failLocked(err)
+			return
+		}
+		// Capture the batch boundary and the file, then fsync unlocked:
+		// records appended during the fsync buffer behind it and form the
+		// next batch.
+		target := w.next - 1
+		f := w.f
+		w.mu.Unlock()
+		err := w.fsync(f)
+		w.mu.Lock()
+		if err != nil {
+			w.failLocked(err)
+			return
+		}
+		if target > w.durable {
+			w.durable = target
+			w.commitCond.Broadcast()
+		}
+		if w.written >= w.opts.SegmentBytes {
+			// rotateLocked re-syncs inline (records may have landed during
+			// the unlocked fsync), seals the segment and opens the next one.
+			if err := w.rotateLocked(); err != nil {
+				w.failLocked(err)
+				return
+			}
+		}
+	}
+}
+
+// failLocked records the sticky sync error and fails every parked writer.
+// Called under w.mu. After it, Append and Commit return the error forever:
+// a WAL that cannot promise durability must not keep acknowledging.
+func (w *WAL) failLocked(err error) {
+	if w.syncErr == nil {
+		w.syncErr = err
+	}
+	w.commitCond.Broadcast()
 }
 
 type walSegment struct {
