@@ -125,13 +125,25 @@ func TestCrashRecoverySmoke(t *testing.T) {
 // present after restart — the same contract as fsync=always, at batched
 // cost.
 func TestGroupCommitCrashDrill(t *testing.T) {
+	groupCommitCrashDrill(t, "serial")
+}
+
+// TestGroupCommitCrashDrillStripedExec runs the same drill with pipelines
+// fanned out across per-stripe executors: concurrent lanes reorder the
+// appends, but the ack barrier still withholds replies until the fsync
+// covers the batch, so the durability contract is identical.
+func TestGroupCommitCrashDrillStripedExec(t *testing.T) {
+	groupCommitCrashDrill(t, "striped-exec")
+}
+
+func groupCommitCrashDrill(t *testing.T, execMode string) {
 	if testing.Short() {
 		t.Skip("builds and kills a real server process")
 	}
 	bin := buildCtredis(t)
 	dir := t.TempDir()
 
-	cmd, addr := startCtredis(t, bin, "-data-dir", dir, "-fsync", "group")
+	cmd, addr := startCtredis(t, bin, "-data-dir", dir, "-fsync", "group", "-exec", execMode)
 	cl, err := miniredis.Dial(addr)
 	if err != nil {
 		cmd.Process.Kill()
@@ -157,7 +169,7 @@ func TestGroupCommitCrashDrill(t *testing.T) {
 	}
 	cmd.Wait()
 
-	cmd2, addr2 := startCtredis(t, bin, "-data-dir", dir, "-fsync", "group")
+	cmd2, addr2 := startCtredis(t, bin, "-data-dir", dir, "-fsync", "group", "-exec", execMode)
 	defer func() {
 		cmd2.Process.Kill()
 		cmd2.Wait()

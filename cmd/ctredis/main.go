@@ -52,6 +52,7 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "cut a background snapshot every N logged writes (0 disables; SAVE/BGSAVE always work)")
 	autoRewrite := flag.Int64("auto-rewrite-bytes", 64<<20, "rewrite the log (background snapshot + segment compaction) once the WAL grows this many bytes past the last snapshot (0 disables)")
 	replicaOf := flag.String("replicaof", "", "replicate from this primary (host:port); the server is a memory-only read replica")
+	execFlag := flag.String("exec", "serial", "command execution mode: serial (Redis's one-at-a-time loop) | striped-conn (per-connection concurrency, concurrent-safe engines only) | striped-exec (pipelines fan out across per-stripe executors, any engine)")
 	flag.Parse()
 
 	if *replicaOf != "" && *dataDir != "" {
@@ -84,7 +85,11 @@ func main() {
 		f = miniredis.ShardedFactoryWithRouter(f, *shards, mk)
 		name = fmt.Sprintf("%s x%d shards, %s-routed", name, sharded.RoundShards(*shards), *router)
 	}
-	srv := miniredis.NewServer(f, *capacity, true)
+	mode, err := miniredis.ParseExecMode(*execFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := miniredis.NewServerExec(f, *capacity, mode)
 	recovered := 0
 	if *dataDir != "" {
 		policy, err := persist.ParseFsyncPolicy(*fsync)
@@ -149,7 +154,7 @@ func main() {
 		}
 		role = fmt.Sprintf("replica of %s", *replicaOf)
 	}
-	fmt.Printf("ctredis listening on %s (engine: %s, %d keyspace stripes, role: %s)\n", bound, name, srv.Stripes(), role)
+	fmt.Printf("ctredis listening on %s (engine: %s, %d keyspace stripes, exec: %s, role: %s)\n", bound, name, srv.Stripes(), srv.Mode(), role)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -3,24 +3,29 @@
 //
 // The server's deadlock-freedom argument is a single global order:
 //
-//	cmdMu → bulkMu → saveMu → replMu → stripe locks (ascending index)
+//	cmdMu → execMus → bulkMu → saveMu → replMu → stripe locks (ascending index)
 //
 // (miniredis.Server and keyspace; see the comments on Server's fields).
 // The race detector only notices an inversion on an interleaving that
 // actually deadlocks or races; this analyzer rejects the inversion on any
 // path, in any build, by rank-checking every Lock/RLock a function
 // performs while an earlier table lock is still held. Stripe-style lock
-// arrays (keyspace.stripes, Server.writeMus) must additionally be
-// acquired in ascending index order: a descending loop over them, or
-// constant indices acquired out of order, is flagged.
+// arrays (keyspace.stripes, Server.writeMus, Server.execMus) must
+// additionally be acquired in ascending index order: a descending loop
+// over them, or constant indices acquired out of order, is flagged.
 //
-// The analysis is intraprocedural by design — cheap, zero-false-negative
-// within a function, and the repo's cross-function chains (dispatch holds
-// cmdMu, then cutSnapshot takes saveMu) each collapse to single-lock
-// functions that pass vacuously. New locks are one line in the tables
-// below. //ctvet:ignore <reason> suppresses a finding; a function whose
-// caller guarantees a lock is held can declare //ctvet:holds <lock> on
-// the line above its declaration.
+// The walk within one function is intraprocedural, plus ONE level of
+// call-graph propagation: every function gets a summary of the table
+// locks its body acquires directly and whether it parks directly, and a
+// call made while a table lock is held is checked against the callee's
+// summary. That is exactly the depth the executor layer's helper
+// extraction needs — runBarrier holds every execMu and calls dispatchOne;
+// a handler that re-took a stripe or parked on WAL.Commit would slip
+// through a purely intraprocedural walk. Deeper chains still collapse to
+// single-lock functions that pass vacuously. New locks are one line in
+// the tables below. //ctvet:ignore <reason> suppresses a finding; a
+// function whose caller guarantees a lock is held can declare
+// //ctvet:holds <lock> on the line above its declaration.
 //
 // Group commit adds a second protocol on top of the order: WAL.Commit
 // PARKS the calling goroutine until the group syncer's fsync covers its
@@ -49,10 +54,15 @@ import (
 // while every held table lock has a strictly smaller rank. Registering a
 // new lock is one line here.
 var lockRank = map[string]int{
-	"cmdMu":  10,
-	"bulkMu": 20,
-	"saveMu": 30,
-	"replMu": 40,
+	"cmdMu": 10,
+	// execMus: striped-exec's per-stripe executor locks. A lane holds one;
+	// the cross-stripe barrier (runBarrier, quiesce) takes all ascending.
+	// Handlers under the barrier go on to take bulkMu/saveMu/replMu/
+	// writeMus/stripes, so the array ranks between cmdMu and bulkMu.
+	"execMus": 15,
+	"bulkMu":  20,
+	"saveMu":  30,
+	"replMu":  40,
 	// Lock arrays: rank applies to the whole array; ascending-index
 	// acquisition within the array is checked separately.
 	"writeMus": 50,
@@ -62,6 +72,7 @@ var lockRank = map[string]int{
 // lockArrays marks the table locks that are arrays of locks (indexed
 // acquisition, ascending order required).
 var lockArrays = map[string]bool{
+	"execMus":  true,
 	"writeMus": true,
 	"stripes":  true,
 }
@@ -95,19 +106,22 @@ var parkCalls = []parkCall{
 
 // parkForbids lists the table locks the append path needs and that are
 // therefore forbidden across a park: cmdMu serializes dispatch on serial
-// servers (a park under it starves the syncer outright), and the
-// writeMus/stripes arrays serialize per-key apply+append.
-var parkForbids = []string{"cmdMu", "writeMus", "stripes"}
+// servers (a park under it starves the syncer outright), execMus
+// serialize striped-exec's lanes the same way, and the writeMus/stripes
+// arrays serialize per-key apply+append.
+var parkForbids = []string{"cmdMu", "execMus", "writeMus", "stripes"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "check Lock/RLock sequences against the repo's global lock order " +
-		"(cmdMu → bulkMu → saveMu → replMu → stripe locks ascending), and " +
-		"that WAL.Commit never parks while a lock the append path needs is held",
+		"(cmdMu → execMus → bulkMu → saveMu → replMu → stripe locks ascending), " +
+		"with one-level call-graph propagation, and that WAL.Commit never " +
+		"parks — directly or one call deep — while a lock the append path needs is held",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
+	sums := newSummaries(pass)
 	for _, file := range pass.Files {
 		holds := holdsDirectives(pass, file)
 		for _, decl := range file.Decls {
@@ -115,7 +129,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			st := &state{pass: pass, held: map[string]heldLock{}}
+			st := &state{pass: pass, sums: sums, held: map[string]heldLock{}}
 			for _, h := range holds[fn] {
 				st.held[h] = heldLock{rank: lockRank[h], declared: true}
 			}
@@ -123,6 +137,87 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// funcSummary records what one function's body does DIRECTLY: the table
+// locks it acquires (first-seen order) and the first park it performs.
+// Goroutine bodies and nested function literals are excluded — they run
+// under their own lock discipline, exactly as in the main walk.
+type funcSummary struct {
+	acquires []string
+	parks    string // printable park-call name, "" when the body never parks
+}
+
+// summaries resolves same-package callees to their declarations and
+// lazily summarizes them — the one-level call-graph propagation. A
+// summary covers only the callee's direct body, never ITS callees:
+// deeper chains are out of scope by design (each hop collapses to a
+// single-lock function the intraprocedural walk already covers).
+type summaries struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	cache map[*types.Func]*funcSummary
+}
+
+func newSummaries(pass *analysis.Pass) *summaries {
+	sm := &summaries{
+		pass:  pass,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		cache: map[*types.Func]*funcSummary{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				sm.decls[obj] = fn
+			}
+		}
+	}
+	return sm
+}
+
+// of returns a call's static callee and its summary; the summary is nil
+// when the callee is not a function declared in the analyzed package
+// (cross-package calls, indirect calls, mutex methods).
+func (sm *summaries) of(call *ast.CallExpr) (*types.Func, *funcSummary) {
+	fn := calleeFunc(sm.pass, call)
+	if fn == nil {
+		return nil, nil
+	}
+	decl, ok := sm.decls[fn]
+	if !ok {
+		return fn, nil
+	}
+	sum, ok := sm.cache[fn]
+	if !ok {
+		sum = summarize(sm.pass, decl)
+		sm.cache[fn] = sum
+	}
+	return fn, sum
+}
+
+func summarize(pass *analysis.Pass, decl *ast.FuncDecl) *funcSummary {
+	sum := &funcSummary{}
+	seen := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if name, method, _ := lockCall(n); name != "" && isAcquire(method) && !seen[name] {
+				seen[name] = true
+				sum.acquires = append(sum.acquires, name)
+			}
+			if sum.parks == "" {
+				sum.parks = parkedCall(pass, n)
+			}
+		}
+		return true
+	})
+	return sum
 }
 
 // holdsDirectives collects //ctvet:holds <lock> comments attached to
@@ -163,6 +258,7 @@ type heldLock struct {
 
 type state struct {
 	pass *analysis.Pass
+	sums *summaries
 	held map[string]heldLock
 }
 
@@ -188,7 +284,7 @@ func (s *state) stmt(stmt ast.Stmt) {
 	case *ast.GoStmt:
 		// A goroutine body runs under its own lock discipline.
 		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			sub := &state{pass: s.pass, held: map[string]heldLock{}}
+			sub := &state{pass: s.pass, sums: s.sums, held: map[string]heldLock{}}
 			sub.stmts(lit.Body.List)
 		}
 	case *ast.AssignStmt:
@@ -250,7 +346,7 @@ func (s *state) expr(e ast.Expr, deferred bool) {
 		case *ast.CallExpr:
 			s.call(n, deferred)
 		case *ast.FuncLit:
-			sub := &state{pass: s.pass, held: map[string]heldLock{}}
+			sub := &state{pass: s.pass, sums: s.sums, held: map[string]heldLock{}}
 			sub.stmts(n.Body.List)
 			return false
 		}
@@ -316,6 +412,7 @@ func (s *state) call(call *ast.CallExpr, deferred bool) {
 	}
 	name, method, idx := lockCall(call)
 	if name == "" {
+		s.checkCallee(call)
 		return
 	}
 	switch {
@@ -324,6 +421,50 @@ func (s *state) call(call *ast.CallExpr, deferred bool) {
 	case method == "Unlock" || method == "RUnlock":
 		if !deferred {
 			delete(s.held, name)
+		}
+	}
+}
+
+// checkCallee is the one-level call-graph propagation: a call made while
+// a table lock is held is checked against what the callee's body does
+// directly — parking, reacquiring a held Mutex, or taking a lock that
+// contradicts the order. Same-name array locks are skipped (the callee's
+// index is unknowable here); deferred calls are checked like immediate
+// ones, erring on the side of reporting, matching how deferred Unlocks
+// keep a lock held for the rest of the walk.
+func (s *state) checkCallee(call *ast.CallExpr) {
+	if len(s.held) == 0 || s.sums == nil {
+		return
+	}
+	fn, sum := s.sums.of(call)
+	if sum == nil {
+		return
+	}
+	if sum.parks != "" {
+		for _, lock := range parkForbids {
+			if _, held := s.held[lock]; held {
+				s.pass.Reportf(call.Pos(),
+					"calls %s, which parks on %s, while holding %s; a parked writer must not hold any lock the append path needs",
+					fn.Name(), sum.parks, lock)
+			}
+		}
+	}
+	for _, name := range sum.acquires {
+		rank := lockRank[name]
+		for heldName, h := range s.held {
+			if heldName == name {
+				if !lockArrays[name] && !h.declared {
+					s.pass.Reportf(call.Pos(),
+						"calls %s, which acquires %s already held here (self-deadlock for a Mutex)",
+						fn.Name(), name)
+				}
+				continue
+			}
+			if h.rank >= rank {
+				s.pass.Reportf(call.Pos(),
+					"calls %s, which acquires %s (rank %d) while %s (rank %d) is held here; the repo lock order is cmdMu → execMus → bulkMu → saveMu → replMu → stripe locks",
+					fn.Name(), name, rank, heldName, h.rank)
+			}
 		}
 	}
 }
@@ -341,7 +482,7 @@ func (s *state) acquire(name string, idx ast.Expr, pos token.Pos) {
 		}
 		if h.rank >= rank {
 			s.pass.Reportf(pos,
-				"acquires %s (rank %d) while holding %s (rank %d); the repo lock order is cmdMu → bulkMu → saveMu → replMu → stripe locks",
+				"acquires %s (rank %d) while holding %s (rank %d); the repo lock order is cmdMu → execMus → bulkMu → saveMu → replMu → stripe locks",
 				name, rank, heldName, h.rank)
 		}
 	}

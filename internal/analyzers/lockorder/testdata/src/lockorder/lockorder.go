@@ -1,8 +1,10 @@
 // Package lockorder is the analyzer's fixture: rank inversions (including
 // the historical cmdMu-after-saveMu shape), self-reacquisition, stripe
 // arrays in both directions, the //ctvet:holds annotation, the
-// //ctvet:ignore escape hatch, and the group-commit park-on-LSN protocol
-// (WAL.Commit must not park while a lock the append path needs is held).
+// //ctvet:ignore escape hatch, the group-commit park-on-LSN protocol
+// (WAL.Commit must not park while a lock the append path needs is held),
+// and the one-level call-graph propagation (a helper that locks or parks
+// is flagged at the call site of a caller holding a conflicting lock).
 package lockorder
 
 import (
@@ -12,6 +14,7 @@ import (
 
 type server struct {
 	cmdMu    sync.Mutex
+	execMus  []sync.Mutex
 	saveMu   sync.Mutex
 	replMu   sync.RWMutex
 	stripes  []sync.Mutex
@@ -153,4 +156,123 @@ func suppressedPark(s *server) {
 	s.cmdMu.Lock()
 	s.wal.Commit(7) //ctvet:ignore fixture: deliberate park proving the escape hatch suppresses it
 	s.cmdMu.Unlock()
+}
+
+// --- executor-lock (execMus) facts ---
+
+// execBarrier is the striped-exec barrier shape: every executor lock
+// ascending, then down the order. Clean.
+func execBarrier(s *server) {
+	for i := range s.execMus {
+		s.execMus[i].Lock()
+	}
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+	for i := range s.execMus {
+		s.execMus[i].Unlock()
+	}
+}
+
+// execUnderSaveMu inverts the order: execMus rank between cmdMu and bulkMu.
+func execUnderSaveMu(s *server) {
+	s.saveMu.Lock()
+	s.execMus[0].Lock() // want `acquires execMus \(rank 15\) while holding saveMu \(rank 30\)`
+	s.execMus[0].Unlock()
+	s.saveMu.Unlock()
+}
+
+// parkUnderExecMu is the striped-exec lane deadlock shape: a lane parked on
+// the group syncer starves every writer routed to its stripe.
+func parkUnderExecMu(s *server) {
+	s.execMus[1].Lock()
+	s.wal.Commit(7) // want `parks on \(persist\.WAL\)\.Commit while holding execMus`
+	s.execMus[1].Unlock()
+}
+
+// --- one-level call-graph propagation ---
+
+// parkHelper parks directly; on its own that is fine (no lock held here).
+func parkHelper(s *server) {
+	s.wal.Commit(7)
+}
+
+// callsParkHelperUnderStripe is the shape the propagation exists for: the
+// park moved one call down, the caller still holds an append-path lock.
+func callsParkHelperUnderStripe(s *server) {
+	s.writeMus[1].Lock()
+	parkHelper(s) // want `calls parkHelper, which parks on \(persist\.WAL\)\.Commit, while holding writeMus`
+	s.writeMus[1].Unlock()
+}
+
+// callsParkHelperAfterRelease is the correct shape: the helper parks only
+// after every append-path lock is released.
+func callsParkHelperAfterRelease(s *server) {
+	s.writeMus[1].Lock()
+	s.writeMus[1].Unlock()
+	parkHelper(s)
+}
+
+// takesCmdMu acquires cmdMu directly.
+func takesCmdMu(s *server) {
+	s.cmdMu.Lock()
+	s.cmdMu.Unlock()
+}
+
+// callsCmdHelperUnderSaveMu: the helper's acquisition inverts the order
+// against the caller's held lock.
+func callsCmdHelperUnderSaveMu(s *server) {
+	s.saveMu.Lock()
+	takesCmdMu(s) // want `calls takesCmdMu, which acquires cmdMu \(rank 10\) while saveMu \(rank 30\) is held here`
+	s.saveMu.Unlock()
+}
+
+// callsCmdHelperUnderCmdMu: the helper reacquires the caller's Mutex —
+// a guaranteed self-deadlock.
+func callsCmdHelperUnderCmdMu(s *server) {
+	s.cmdMu.Lock()
+	takesCmdMu(s) // want `calls takesCmdMu, which acquires cmdMu already held here \(self-deadlock for a Mutex\)`
+	s.cmdMu.Unlock()
+}
+
+// takesSaveMu acquires saveMu directly.
+func takesSaveMu(s *server) {
+	s.saveMu.Lock()
+	s.saveMu.Unlock()
+}
+
+// callsDownTheOrder is clean: the helper's lock ranks above the held one,
+// the direction the order allows.
+func callsDownTheOrder(s *server) {
+	s.cmdMu.Lock()
+	takesSaveMu(s)
+	s.cmdMu.Unlock()
+}
+
+// bgParkHelper parks only on a goroutine it spawns; the spawning call
+// returns immediately, so a caller holding a lock is NOT parked.
+func bgParkHelper(s *server) {
+	go func() {
+		s.wal.Commit(7)
+	}()
+}
+
+func callsBgParkHelperUnderStripe(s *server) {
+	s.writeMus[1].Lock()
+	bgParkHelper(s) // no finding: the helper's park runs on its own goroutine
+	s.writeMus[1].Unlock()
+}
+
+// suppressedHelperPark proves the escape hatch covers propagated findings.
+func suppressedHelperPark(s *server) {
+	s.cmdMu.Lock()
+	parkHelper(s) //ctvet:ignore fixture: deliberate propagated park proving suppression
+	s.cmdMu.Unlock()
+}
+
+// holdsCallsCmdHelper: a declared hold counts for propagation exactly as a
+// real acquisition would.
+//
+//ctvet:holds saveMu
+func holdsCallsCmdHelper(s *server) {
+	takesCmdMu(s) // want `calls takesCmdMu, which acquires cmdMu \(rank 10\) while saveMu \(rank 30\) is held here`
 }

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/miniredis"
+)
+
+// execModesSweep is the exec figure's mode axis: Redis's one-at-a-time
+// command loop, per-connection concurrency, and the per-stripe executor
+// fan-out the executor layer adds.
+var execModesSweep = []miniredis.ExecMode{
+	miniredis.ExecSerial, miniredis.ExecStripedConn, miniredis.ExecStripedExec,
+}
+
+// execWorkloads: "disjoint" interleaves each pipeline across this many
+// independent sets — the shape striped-exec fans out across stripe lanes —
+// while "shared" hammers one set, where every mode degenerates to a single
+// serialized lane and the sweep measures pure executor overhead.
+var execWorkloads = []string{"disjoint", "shared"}
+
+const execDisjointSets = 8
+
+// execPipelineDepth matches the server's batch drain bound: a full batch
+// gives the striped executor the widest span to partition.
+const execPipelineDepth = 128
+
+// execReport measures pipelined ZADD throughput from one connection under
+// each execution mode × workload. A single connection is the interesting
+// client: striped-conn already runs different CONNECTIONS concurrently,
+// so only the per-stripe executor can extract parallelism from one
+// client's pipeline. On GOMAXPROCS=1 the lanes time-slice one core and
+// the disjoint rows bound fan-out overhead instead of showing a win (the
+// report banner records which run this was).
+func execReport(o Options) Report {
+	o.Fill()
+	rep := newReport("exec", o)
+	rep.MaxShards = 1
+	e, _ := engineByName("CuckooTrie")
+	ops := minInt(o.Ops, 200_000)
+	for _, mode := range execModesSweep {
+		for _, wl := range execWorkloads {
+			rep.Rows = append(rep.Rows, Row{
+				Engine:   e.Name,
+				Workload: wl,
+				Mode:     string(mode),
+				Shards:   1,
+				Threads:  1,
+				Mops:     execZAddMops(e, mode, wl, ops, o),
+			})
+		}
+	}
+	return rep
+}
+
+// execZAddMops runs one cell: ops fresh-key ZADDs from a single client in
+// execPipelineDepth-deep pipelines, round-robin across the workload's set
+// count, against a memory-only server in the given mode.
+func execZAddMops(e Engine, mode miniredis.ExecMode, wl string, ops int, o Options) float64 {
+	srv := miniredis.NewServerExec(e.New, o.Keys, mode)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("exec figure: %v", err))
+	}
+	//ctvet:ignore memory-only server (no WAL): Close has nothing durable to flush
+	defer srv.Close()
+	cl, err := miniredis.Dial(addr)
+	if err != nil {
+		panic(fmt.Sprintf("exec figure: %v", err))
+	}
+	defer cl.Close()
+
+	nsets := 1
+	if wl == "disjoint" {
+		nsets = execDisjointSets
+	}
+	sets := make([][]byte, nsets)
+	for i := range sets {
+		sets[i] = []byte(fmt.Sprintf("exec%d", i))
+	}
+	start := time.Now()
+	pipe := make([][][]byte, 0, execPipelineDepth)
+	for i := 0; i < ops; i++ {
+		pipe = append(pipe, [][]byte{[]byte("ZADD"), sets[i%nsets],
+			[]byte(fmt.Sprintf("m%08d", i)), []byte("1")})
+		if len(pipe) == execPipelineDepth {
+			if _, err := cl.Pipeline(pipe); err != nil {
+				panic(fmt.Sprintf("exec figure: pipeline: %v", err))
+			}
+			pipe = pipe[:0]
+		}
+	}
+	if len(pipe) > 0 {
+		if _, err := cl.Pipeline(pipe); err != nil {
+			panic(fmt.Sprintf("exec figure: pipeline: %v", err))
+		}
+	}
+	return mops(ops, time.Since(start))
+}
+
+// FigExec renders the execution-mode figure: single-connection pipelined
+// ZADD throughput under serial, striped-conn and striped-exec dispatch,
+// on pipelines spread across disjoint sets (striped-exec's fan-out shape)
+// and on one shared set (its serialization floor).
+func FigExec(w io.Writer, o Options) {
+	o.Fill()
+	rep := execReport(o)
+	header(w, "Exec: single-connection pipelined ZADD Mops/s by execution mode",
+		"executor layer: per-stripe lanes vs per-connection vs serial dispatch")
+	rows := rowIndex(rep)
+	fmt.Fprintf(w, "\n%-22s", "workload")
+	for _, mode := range execModesSweep {
+		fmt.Fprintf(w, "%14s", string(mode))
+	}
+	for _, wl := range execWorkloads {
+		fmt.Fprintf(w, "\n%-22s", wl)
+		for _, mode := range execModesSweep {
+			r := rows[Row{Engine: "CuckooTrie", Workload: wl, Mode: string(mode),
+				Shards: 1, Threads: 1}.axes()]
+			fmt.Fprintf(w, "%14.3f", r.Mops)
+		}
+	}
+	fmt.Fprintf(w, "\n(one client, %d-deep pipelines; disjoint = round-robin over %d sets, shared = one set; GOMAXPROCS=1 runs bound fan-out overhead, not speedup)\n",
+		execPipelineDepth, execDisjointSets)
+}
+
+// FigExecJSON is FigExec's -json mode: the same measurements as one JSON
+// report for machine diffing across runs.
+func FigExecJSON(w io.Writer, o Options) error {
+	return execReport(o).WriteJSON(w)
+}

@@ -1,0 +1,441 @@
+package miniredis
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/persist"
+	"repro/internal/skiplist"
+)
+
+var allExecModes = []ExecMode{ExecSerial, ExecStripedConn, ExecStripedExec}
+
+func newExecServer(t *testing.T, mode ExecMode) (*Server, *Client) {
+	t.Helper()
+	srv := NewServerExec(skiplistFactory, 64, mode)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close(); srv.Close() })
+	return srv, cl
+}
+
+func TestParseExecMode(t *testing.T) {
+	for _, s := range []string{"serial", "striped-conn", "striped-exec"} {
+		m, err := ParseExecMode(s)
+		if err != nil || string(m) != s {
+			t.Fatalf("ParseExecMode(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseExecMode("threaded"); err == nil {
+		t.Fatal("ParseExecMode accepted an unknown mode")
+	}
+}
+
+// TestExecModeMatrix runs the same pipeline — writes interleaved with the
+// cross-stripe barrier commands DBSIZE and FLUSHALL — under every
+// execution mode and checks each reply positionally: whatever the
+// executor does internally, replies must come back in submission order
+// with serial-equivalent values.
+func TestExecModeMatrix(t *testing.T) {
+	for _, mode := range allExecModes {
+		t.Run(string(mode), func(t *testing.T) {
+			srv, cl := newExecServer(t, mode)
+			if srv.Mode() != mode {
+				t.Fatalf("Mode() = %v, want %v", srv.Mode(), mode)
+			}
+			var cmds [][][]byte
+			var want []interface{}
+			for i := 0; i < 20; i++ {
+				cmds = append(cmds, [][]byte{[]byte("ZADD"),
+					[]byte(fmt.Sprintf("set%d", i%4)), []byte(fmt.Sprintf("m%02d", i)), []byte(fmt.Sprint(i))})
+				want = append(want, int64(1))
+			}
+			cmds = append(cmds, [][]byte{[]byte("DBSIZE")})
+			want = append(want, int64(20))
+			for i := 20; i < 40; i++ {
+				cmds = append(cmds, [][]byte{[]byte("ZADD"),
+					[]byte(fmt.Sprintf("set%d", i%4)), []byte(fmt.Sprintf("m%02d", i)), []byte(fmt.Sprint(i))})
+				want = append(want, int64(1))
+			}
+			cmds = append(cmds, [][]byte{[]byte("DBSIZE")})
+			want = append(want, int64(40))
+			cmds = append(cmds, [][]byte{[]byte("FLUSHALL")})
+			want = append(want, "OK")
+			cmds = append(cmds, [][]byte{[]byte("DBSIZE")})
+			want = append(want, int64(0))
+			cmds = append(cmds, [][]byte{[]byte("ZADD"), []byte("a"), []byte("x"), []byte("7")})
+			want = append(want, int64(1))
+			cmds = append(cmds, [][]byte{[]byte("ZSCORE"), []byte("a"), []byte("x")})
+			want = append(want, "7")
+
+			out, err := cl.Pipeline(cmds)
+			if err != nil || len(out) != len(want) {
+				t.Fatalf("pipeline: %d replies, %v", len(out), err)
+			}
+			for i, w := range want {
+				switch w := w.(type) {
+				case int64:
+					if out[i] != w {
+						t.Fatalf("reply[%d] = %v, want %d", i, out[i], w)
+					}
+				case string:
+					got, ok := out[i].(string)
+					if !ok {
+						if b, bok := out[i].([]byte); bok {
+							got, ok = string(b), true
+						}
+					}
+					if !ok || got != w {
+						t.Fatalf("reply[%d] = %v, want %q", i, out[i], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// gateIndex gates Set by member-key prefix: a "wait*" member blocks until
+// the gate opens, a "sig*" member opens it. Two such writes in one
+// pipeline can only both complete if the executor really runs their
+// stripes concurrently — a serial or per-connection executor hits the
+// timeout and surfaces the error instead of deadlocking the test.
+type gateIndex struct {
+	index.Index
+	gate chan struct{}
+	once *sync.Once
+}
+
+func (g *gateIndex) Set(key []byte, v uint64) (bool, error) {
+	switch {
+	case bytes.HasPrefix(key, []byte("wait")):
+		select {
+		case <-g.gate:
+		case <-time.After(5 * time.Second):
+			return false, errors.New("gate timeout: stripes did not execute concurrently")
+		}
+	case bytes.HasPrefix(key, []byte("sig")):
+		g.once.Do(func() { close(g.gate) })
+	}
+	return g.Index.Set(key, v)
+}
+
+// twoStripeSets returns two set names that route to different keyspace
+// stripes (the stripe count is ≥ 8, so a handful of candidates suffice).
+func twoStripeSets(t *testing.T, srv *Server) (string, string) {
+	t.Helper()
+	first := "s0"
+	for i := 1; i < 256; i++ {
+		name := fmt.Sprintf("s%d", i)
+		if srv.ks.stripeIdx(name) != srv.ks.stripeIdx(first) {
+			return first, name
+		}
+	}
+	t.Fatal("could not find two sets on distinct stripes")
+	return "", ""
+}
+
+// TestStripedExecConcurrentLanes proves the tentpole's core claim: under
+// striped-exec, one pipeline's commands on different stripes execute
+// CONCURRENTLY (the gated write completes only because the other lane
+// runs while it blocks), and the out-of-order completion is invisible in
+// the reply stream — replies arrive in submission order.
+func TestStripedExecConcurrentLanes(t *testing.T) {
+	gate := make(chan struct{})
+	once := &sync.Once{}
+	srv := NewServerExec(func(c int) index.Index {
+		return &gateIndex{Index: skiplist.New(1), gate: gate, once: once}
+	}, 64, ExecStripedExec)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	a, b := twoStripeSets(t, srv)
+	out, err := cl.Pipeline([][][]byte{
+		{[]byte("ZADD"), []byte(a), []byte("wait1"), []byte("1")}, // lane A blocks...
+		{[]byte("ZADD"), []byte(b), []byte("sig1"), []byte("2")},  // ...until lane B runs
+		{[]byte("ZSCORE"), []byte(a), []byte("wait1")},
+		{[]byte("ZSCORE"), []byte(b), []byte("sig1")},
+		{[]byte("DBSIZE")}, // and the all-stripe barrier still works after a gated span
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != int64(1) || out[1] != int64(1) {
+		t.Fatalf("gated ZADDs = %v, %v (lanes did not run concurrently?)", out[0], out[1])
+	}
+	if string(out[2].([]byte)) != "1" || string(out[3].([]byte)) != "2" {
+		t.Fatalf("reply order broken: ZSCOREs = %v, %v", out[2], out[3])
+	}
+	if out[4] != int64(2) {
+		t.Fatalf("DBSIZE after gated span = %v", out[4])
+	}
+}
+
+// TestStripedExecOrderingRace hammers a striped-exec server over several
+// connections with pipelines that each touch a private set AND a shared
+// set, on a non-concurrent engine (skiplist): execMus must serialize the
+// shared lane across connections (the race detector proves it), and
+// read-your-write must hold within each pipeline.
+func TestStripedExecOrderingRace(t *testing.T) {
+	srv, _ := newExecServer(t, ExecStripedExec)
+	const workers, iters = 8, 50
+	addr := srv.ln.Addr().String()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			own := []byte(fmt.Sprintf("own%d", g))
+			member := []byte(fmt.Sprintf("g%d", g))
+			for j := 1; j <= iters; j++ {
+				val := []byte(fmt.Sprint(j))
+				out, err := cl.Pipeline([][][]byte{
+					{[]byte("ZADD"), own, []byte("m"), val},
+					{[]byte("ZADD"), []byte("shared"), member, val},
+					{[]byte("ZSCORE"), own, []byte("m")},
+					{[]byte("ZSCORE"), []byte("shared"), member},
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got := string(out[2].([]byte)); got != string(val) {
+					errCh <- fmt.Errorf("worker %d iter %d: own read-your-write = %s, want %s", g, j, got, val)
+					return
+				}
+				if got := string(out[3].([]byte)); got != string(val) {
+					errCh <- fmt.Errorf("worker %d iter %d: shared read-your-write = %s, want %s", g, j, got, val)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	cl := mustDial(t, addr)
+	defer cl.Close()
+	// workers private sets with one member each + the shared set's members.
+	if r, err := cl.Do([]byte("DBSIZE")); err != nil || r != int64(workers+workers) {
+		t.Fatalf("DBSIZE = %v, %v, want %d", r, err, workers+workers)
+	}
+}
+
+func mustDial(t *testing.T, addr string) *Client {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestWaitAllModes runs WAIT — lone and mid-pipeline — under every
+// execution mode on a persistent fsync=group server with no replicas
+// attached. Before the executor refactor, a pipelined WAIT under serial
+// mode parked on the group syncer while holding cmdMu (the exact deadlock
+// ctvet's lockorder pass rejects); dispatch now splits WAIT out of the
+// batch in every mode, so all of these must complete promptly.
+func TestWaitAllModes(t *testing.T) {
+	for _, mode := range allExecModes {
+		t.Run(string(mode), func(t *testing.T) {
+			srv := NewServerExec(skiplistFactory, 64, mode)
+			if _, err := srv.EnablePersistenceWithOptions(t.TempDir(), PersistOptions{Policy: persist.FsyncGroup}); err != nil {
+				t.Fatal(err)
+			}
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cl := mustDial(t, addr)
+			defer cl.Close()
+
+			// Lone WAIT on a fresh connection (no prior write to gate on).
+			if r, err := cl.Do([]byte("WAIT"), []byte("0"), []byte("100")); err != nil || r != int64(0) {
+				t.Fatalf("lone WAIT = %v, %v", r, err)
+			}
+			// Lone WAIT after a write: gates on local durability, then replies.
+			if r, err := cl.Do([]byte("ZADD"), []byte("s"), []byte("a"), []byte("1")); err != nil || r != int64(1) {
+				t.Fatalf("ZADD = %v, %v", r, err)
+			}
+			if r, err := cl.Do([]byte("WAIT"), []byte("0"), []byte("1000")); err != nil || r != int64(0) {
+				t.Fatalf("WAIT after write = %v, %v", r, err)
+			}
+			// Pipelined: writes before each WAIT must be durable when it replies.
+			out, err := cl.Pipeline([][][]byte{
+				{[]byte("ZADD"), []byte("s"), []byte("b"), []byte("2")},
+				{[]byte("WAIT"), []byte("0"), []byte("1000")},
+				{[]byte("ZADD"), []byte("s"), []byte("c"), []byte("3")},
+				{[]byte("WAIT"), []byte("0"), []byte("1000")},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != int64(1) || out[1] != int64(0) || out[2] != int64(1) || out[3] != int64(0) {
+				t.Fatalf("pipelined WAIT replies = %v", out)
+			}
+			if last, durable := srv.wal.LSN(), srv.wal.DurableLSN(); durable < last {
+				t.Fatalf("WAIT acked with DurableLSN=%d behind LSN=%d", durable, last)
+			}
+		})
+	}
+}
+
+// TestStripedExecBGSaveNonConcurrent is the quiesce regression test: a
+// NON-concurrent engine (skiplist) under striped-exec may only be
+// snapshotted while every executor lane is stopped at the all-stripe
+// barrier. Background saves race pipelined writers here; -race catches
+// any snapshot iteration overlapping a Set if the barrier is broken.
+func TestStripedExecBGSaveNonConcurrent(t *testing.T) {
+	srv := NewServerExec(skiplistFactory, 256, ExecStripedExec)
+	if _, err := srv.EnablePersistenceWithOptions(t.TempDir(), PersistOptions{Policy: persist.FsyncNo}); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.quiesceSaves {
+		t.Fatal("striped-exec + skiplist must quiesce saves")
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const workers, iters = 4, 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < iters; j++ {
+				cmds := make([][][]byte, 8)
+				for k := range cmds {
+					cmds[k] = [][]byte{[]byte("ZADD"), []byte(fmt.Sprintf("set%d", k)),
+						[]byte(fmt.Sprintf("g%dj%dk%d", g, j, k)), []byte("1")}
+				}
+				if _, err := cl.Pipeline(cmds); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Snapshot continuously under load: the background path (BGSave) and
+	// the command path (SAVE through the barrier).
+	cl := mustDial(t, addr)
+	defer cl.Close()
+	for k := 0; k < 10; k++ {
+		srv.BGSave()
+		if r, err := cl.Do([]byte("SAVE")); err != nil || r != "OK" {
+			t.Fatalf("SAVE under load = %v, %v", r, err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	srv.bgWg.Wait()
+	if err := srv.LastBGSaveError(); err != nil {
+		t.Fatalf("BGSave under striped-exec load: %v", err)
+	}
+	if r, err := cl.Do([]byte("DBSIZE")); err != nil || r != int64(workers*iters*8) {
+		t.Fatalf("DBSIZE = %v, %v, want %d", r, err, workers*iters*8)
+	}
+}
+
+// TestStripedExecManyConnections soaks a striped-exec server with 1000
+// concurrent connections (the per-connection buffers were sized down to
+// make exactly this cheap) and then verifies every serve goroutine exits:
+// no goroutine leak, no reply corruption.
+func TestStripedExecManyConnections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens ~1000 connections")
+	}
+	srv, _ := newExecServer(t, ExecStripedExec)
+	addr := srv.ln.Addr().String()
+	baseline := runtime.NumGoroutine()
+
+	const conns = 1000
+	clients := make([]*Client, conns)
+	for i := range clients {
+		clients[i] = mustDial(t, addr)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			set := []byte(fmt.Sprintf("soak%d", i%37))
+			member := []byte(fmt.Sprintf("c%d", i))
+			out, err := cl.Pipeline([][][]byte{
+				{[]byte("PING")},
+				{[]byte("ZADD"), set, member, []byte("1")},
+				{[]byte("ZSCORE"), set, member},
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if out[0] != "PONG" || out[1] != int64(1) || string(out[2].([]byte)) != "1" {
+				errCh <- fmt.Errorf("conn %d replies = %v", i, out)
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+	// Every per-connection serve goroutine must wind down once its client
+	// hangs up. Allow slack for runtime/test goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d: serve goroutines leaked", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -24,18 +24,22 @@
 // lock stripes (set-name hash routing), so concurrent connections never
 // serialize on a single keyspace mutex just to resolve which set a command
 // targets.
+//
+// Command execution is an explicit layer: serve parses (dispatch.go),
+// dispatch routes, and an executor (executor.go) runs each segment under
+// one of three modes — serial (Redis's one-lock loop), striped-conn
+// (per-connection, lockless), or striped-exec (per-stripe lanes that run
+// disjoint-set pipelines concurrently with replies reassembled in order).
+// See ExecMode.
 package miniredis
 
 import (
 	"errors"
 	"fmt"
 	"hash/maphash"
-	"io"
 	"net"
 	"runtime"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -231,8 +235,15 @@ type Server struct {
 	ks       *keyspace
 	ln       net.Listener
 	wg       sync.WaitGroup
-	serial   bool // single-threaded command execution (Redis's model)
-	cmdMu    sync.Mutex
+	mode     ExecMode // command execution strategy; see executor.go
+	exec     executor
+	cmdMu    sync.Mutex // ExecSerial's one-at-a-time command loop lock
+	// execMus (ExecStripedExec only): one executor lock per keyspace
+	// stripe. A per-stripe lane holds exactly its own; the cross-stripe
+	// barrier takes all of them in ascending index order. Rank 15 in the
+	// global lock order — after cmdMu, before bulkMu (see
+	// internal/analyzers/lockorder).
+	execMus []sync.Mutex
 
 	// Persistence (nil/zero when the server is memory-only).
 	wal        *persist.WAL
@@ -245,9 +256,10 @@ type Server struct {
 	saving     atomic.Bool  // one BGSAVE at a time
 	saveMu     sync.Mutex   // serializes snapshot cuts (SAVE vs BGSAVE)
 	// quiesceSaves: the engine is not concurrent-safe, so snapshot cursors
-	// cannot run against live writers — saves must hold cmdMu (taken
-	// BEFORE saveMu; dispatch already holds cmdMu when it calls save, so
-	// the order is fixed as cmdMu → saveMu everywhere).
+	// cannot run against live writers — saves must hold the execution
+	// mode's quiesce lock (serial's cmdMu or striped-exec's all-stripe
+	// barrier, always taken BEFORE saveMu; dispatch already holds it when
+	// a SAVE command calls save, so the order is fixed everywhere).
 	quiesceSaves bool
 	// writeMus (persistent concurrent servers only) order apply+log per
 	// keyspace stripe; see lockWrite.
@@ -270,19 +282,47 @@ type Server struct {
 }
 
 // NewServer creates a server whose sorted sets use the given engine.
-// serial mimics Redis's single-threaded command loop; with serial=false,
-// connections execute commands concurrently (safe only for concurrent-safe
-// engines). The keyspace is striped either way, so set resolution never
-// serializes connections on a single lock.
+// serial=true mimics Redis's single-threaded command loop (ExecSerial);
+// serial=false executes each connection's commands concurrently with no
+// execution lock (ExecStripedConn — safe only for concurrent-safe
+// engines). See NewServerExec for the full mode set, including
+// striped-exec's per-stripe concurrent execution. The keyspace is striped
+// in every mode, so set resolution never serializes connections on a
+// single lock.
 func NewServer(factory EngineFactory, capacityHint int, serial bool) *Server {
-	return &Server{
+	mode := ExecStripedConn
+	if serial {
+		mode = ExecSerial
+	}
+	return NewServerExec(factory, capacityHint, mode)
+}
+
+// NewServerExec creates a server with an explicit execution mode (see
+// ExecMode in executor.go). An unknown mode falls back to ExecSerial, the
+// one strategy that is safe for every engine.
+func NewServerExec(factory EngineFactory, capacityHint int, mode ExecMode) *Server {
+	s := &Server{
 		create:   func() index.Index { return factory(capacityHint) },
 		factory:  factory,
 		capacity: capacityHint,
 		ks:       newKeyspace(max(8, runtime.GOMAXPROCS(0))),
-		serial:   serial,
+		mode:     mode,
 	}
+	switch mode {
+	case ExecStripedConn:
+		s.exec = connExecutor{s}
+	case ExecStripedExec:
+		s.execMus = make([]sync.Mutex, len(s.ks.stripes))
+		s.exec = stripedExecutor{s}
+	default:
+		s.mode = ExecSerial
+		s.exec = serialExecutor{s}
+	}
+	return s
 }
+
+// Mode reports the server's execution mode.
+func (s *Server) Mode() ExecMode { return s.mode }
 
 // Stripes reports the power-of-two keyspace stripe count.
 func (s *Server) Stripes() int { return len(s.ks.stripes) }
@@ -374,13 +414,19 @@ func (s *Server) EnablePersistenceWithOptions(dir string, opts PersistOptions) (
 	wal.SetOnAppend(s.repl.Publish)
 	// Probe the engine once: every set comes from the same factory, so one
 	// throwaway instance says whether snapshots may run against live
-	// writers or must quiesce the command loop first.
-	s.quiesceSaves = s.serial && !index.IsConcurrent(s.factory(1))
-	if !s.serial {
+	// writers or must quiesce execution first. Serial and striped-exec
+	// both have a quiesce lock to take (cmdMu, the all-stripe barrier);
+	// striped-conn has none, so its saves always run live — its engines
+	// must be concurrent-safe to begin with.
+	s.quiesceSaves = s.mode != ExecStripedConn && !index.IsConcurrent(s.factory(1))
+	if s.mode != ExecSerial {
 		// Concurrent command execution needs explicit write ordering: the
 		// WAL replays in LSN order, so two racing writes to the same set
 		// must log in the order they applied or recovery rebuilds a state
-		// the live server never exposed. Serial mode gets this from cmdMu.
+		// the live server never exposed. Serial mode gets this from cmdMu;
+		// both striped modes pin it per stripe (striped-exec's lanes hold
+		// execMus across apply+log too, but the replication applier and
+		// FLUSHALL order against writers through writeMus).
 		s.writeMus = make([]sync.Mutex, len(s.ks.stripes))
 	}
 	return res, nil
@@ -456,19 +502,21 @@ func (s *Server) logWrite(op persist.Op, set string, key []byte, val uint64) (ui
 // draining runs against the live (concurrent-safe) engines.
 func (s *Server) Save() error { return s.save(false) }
 
-// save implements Save; cmdLocked says the calling goroutine already
-// holds cmdMu (a SAVE command dispatched in serial mode).
-func (s *Server) save(cmdLocked bool) error {
+// save implements Save; quiesced says the calling goroutine already holds
+// this server's quiesce lock (a SAVE command dispatched under serial
+// mode's cmdMu or striped-exec's all-stripe barrier).
+func (s *Server) save(quiesced bool) error {
 	if s.wal == nil {
 		return ErrNoPersistence
 	}
-	if s.quiesceSaves && !cmdLocked {
+	if s.quiesceSaves && !quiesced {
 		// A non-concurrent-safe engine cannot be iterated while writers
-		// mutate it: quiesce commands for the duration (Redis without
-		// fork(2) semantics). Concurrent-safe engines skip this. cmdMu is
-		// always taken before saveMu.
-		s.cmdMu.Lock()
-		defer s.cmdMu.Unlock()
+		// mutate it: quiesce execution for the duration (Redis without
+		// fork(2) semantics) — cmdMu on a serial server, the all-stripe
+		// executor barrier under striped-exec. Concurrent-safe engines
+		// skip this. The quiesce lock is always taken before saveMu.
+		release := s.quiesce()
+		defer release()
 	}
 	_, _, err := s.cutSnapshot()
 	return err
@@ -503,8 +551,8 @@ func (s *Server) cutSnapshot() (uint64, string, error) {
 // guaranteed to contain them.
 func (s *Server) snapshotForSync() (uint64, string, error) {
 	if s.quiesceSaves {
-		s.cmdMu.Lock()
-		defer s.cmdMu.Unlock()
+		release := s.quiesce()
+		defer release()
 	}
 	return s.cutSnapshot()
 }
@@ -611,329 +659,6 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) set(key string) index.Index {
 	return s.ks.get(key, s.create)
-}
-
-// maxPipelineBatch bounds how many pipelined commands one dispatch drains.
-const maxPipelineBatch = 128
-
-func (s *Server) serve(conn net.Conn) {
-	defer s.wg.Done()
-	defer conn.Close()
-	r := resp.NewReader(conn)
-	w := resp.NewWriter(conn)
-	cs := &connState{}
-	batch := make([][][]byte, 0, maxPipelineBatch)
-	for {
-		cmd, err := r.ReadCommand()
-		if err != nil {
-			s.dropWithError(w, err)
-			return
-		}
-		// Drain any further pipelined commands already buffered: the batch is
-		// dispatched as a unit so independent lookups can share one MultiGet.
-		// CommandBuffered (not Buffered) gates the drain so a half-received
-		// command never blocks the reads while replies are withheld.
-		batch = append(batch[:0], cmd)
-		for r.CommandBuffered() && len(batch) < maxPipelineBatch {
-			cmd, err = r.ReadCommand()
-			if err != nil {
-				break
-			}
-			batch = append(batch, cmd)
-		}
-		// PSYNC turns the connection into a replication feed: dispatch
-		// whatever preceded it, then hand the connection to the manager for
-		// its remaining lifetime.
-		if i := psyncIndex(batch); i >= 0 {
-			s.dispatchBatch(w, batch[:i], cs)
-			s.servePSync(conn, r, w, cs, batch[i])
-			return
-		}
-		// A lone WAIT dispatches outside cmdMu: it blocks until replicas
-		// ack, and a serial server must keep executing the very writes the
-		// replicas need to ack while it waits.
-		prevWrite := cs.lastWrite
-		if len(batch) == 1 && len(batch[0]) > 0 && strings.EqualFold(string(batch[0][0]), "WAIT") {
-			s.cmdWait(w, cs, batch[0], false)
-		} else {
-			s.dispatchBatch(w, batch, cs)
-		}
-		// Group commit's ack barrier: the batch's replies are still only
-		// buffered in w, so parking here — after dispatch released cmdMu and
-		// the stripe write mutexes, before the flush that acknowledges —
-		// delays nothing but this connection while one fsync covers the
-		// whole pipeline. Async mode skips the wait: replies flush
-		// immediately and DurableLSN reports how far durability lags.
-		if s.fsyncPol == persist.FsyncGroup && cs.lastWrite > prevWrite {
-			if cerr := s.wal.Commit(cs.lastWrite); cerr != nil {
-				// The buffered replies contain acks for writes that never
-				// became durable: drop the connection without flushing them.
-				// A reset connection promises nothing; a flushed ":1" does.
-				return
-			}
-		}
-		if err != nil { // tail read error: answer what we got, then drop
-			s.dropWithError(w, err)
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-// psyncIndex finds a PSYNC command in a drained batch (-1 when absent). A
-// replica never pipelines past its PSYNC, so anything after one would be
-// handshake bytes misread as commands — the index lets serve stop exactly
-// there.
-func psyncIndex(batch [][][]byte) int {
-	for i, cmd := range batch {
-		if len(cmd) > 0 && strings.EqualFold(string(cmd[0]), "PSYNC") {
-			return i
-		}
-	}
-	return -1
-}
-
-// dropWithError ends a connection the way Redis does: a clean hangup (EOF
-// between commands) just closes, but malformed input gets an
-// "-ERR Protocol error" reply first, so the client can diagnose what it
-// sent instead of seeing a silent disconnect. The reply rides the same
-// flush as any replies already owed for the drained pipeline; flush errors
-// are moot — the connection is being dropped either way.
-func (s *Server) dropWithError(w *resp.Writer, err error) {
-	if err != io.EOF {
-		w.WriteError(fmt.Sprintf("Protocol error: %v", err))
-	}
-	w.Flush() //ctvet:ignore the connection is being dropped; this flush is best-effort diagnostics, not an ack
-}
-
-// dispatchBatch executes a pipeline of commands. Consecutive ZSCOREs against
-// the same key collapse into a single MultiGet; everything else dispatches
-// one-by-one. Replies are written in command order either way.
-func (s *Server) dispatchBatch(w *resp.Writer, batch [][][]byte, cs *connState) {
-	if len(batch) == 0 {
-		return
-	}
-	if s.serial {
-		s.cmdMu.Lock()
-		defer s.cmdMu.Unlock()
-	}
-	for i := 0; i < len(batch); {
-		// Find a run of ZSCOREs with identical set keys.
-		j := i
-		for j < len(batch) && isZScore(batch[j]) &&
-			(j == i || string(batch[j][1]) == string(batch[i][1])) {
-			j++
-		}
-		if j-i >= 2 {
-			s.zscoreBatch(w, batch[i][1], batch[i:j])
-			i = j
-			continue
-		}
-		s.dispatchOne(w, batch[i], cs)
-		i++
-	}
-}
-
-func isZScore(cmd [][]byte) bool {
-	return len(cmd) == 3 && strings.EqualFold(string(cmd[0]), "ZSCORE")
-}
-
-// zscoreBatch answers a run of same-set ZSCOREs with one MultiGet.
-func (s *Server) zscoreBatch(w *resp.Writer, key []byte, cmds [][][]byte) {
-	members := make([][]byte, len(cmds))
-	for i, c := range cmds {
-		members[i] = c[2]
-	}
-	vals := make([]uint64, len(members))
-	found := make([]bool, len(members))
-	s.set(string(key)).MultiGet(members, vals, found)
-	for i := range members {
-		if found[i] {
-			w.WriteBulk([]byte(strconv.FormatUint(vals[i], 10)))
-		} else {
-			w.WriteBulk(nil)
-		}
-	}
-}
-
-// dispatchOne executes a single command. The caller holds cmdMu when the
-// server runs in serial mode.
-func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte, cs *connState) {
-	if len(cmd) == 0 {
-		w.WriteError("empty command")
-		return
-	}
-	var sink uint64
-	switch strings.ToUpper(string(cmd[0])) {
-	case "PING":
-		w.WriteSimple("PONG")
-	case "ZADD":
-		if len(cmd) != 4 {
-			w.WriteError("wrong number of arguments for ZADD")
-			return
-		}
-		if s.rejectReadonly(w) {
-			return
-		}
-		v, err := strconv.ParseUint(string(cmd[3]), 10, 64)
-		if err != nil {
-			w.WriteError("value is not an integer")
-			return
-		}
-		if unlock := s.lockWrite(string(cmd[1])); unlock != nil {
-			defer unlock()
-		}
-		added, err := s.set(string(cmd[1])).Set(cmd[2], v)
-		if err != nil {
-			w.WriteError(err.Error())
-			return
-		}
-		// The write is logged after it applied (AOF-style); a WAL failure
-		// is reported instead of acknowledging a write that cannot become
-		// durable.
-		lsn, err := s.logWrite(persist.OpSet, string(cmd[1]), cmd[2], v)
-		if err != nil {
-			w.WriteError("persistence: " + err.Error())
-			return
-		}
-		cs.lastWrite = lsn
-		// Redis semantics: reply 1 only for a newly added member, 0 when an
-		// existing member's score was updated.
-		if added {
-			w.WriteInt(1)
-		} else {
-			w.WriteInt(0)
-		}
-	case "ZSCORE":
-		if len(cmd) != 3 {
-			w.WriteError("wrong number of arguments for ZSCORE")
-			return
-		}
-		v, ok := s.set(string(cmd[1])).Get(cmd[2])
-		if !ok {
-			w.WriteBulk(nil)
-			return
-		}
-		w.WriteBulk([]byte(strconv.FormatUint(v, 10)))
-	case "ZMSCORE":
-		// ZMSCORE key member [member ...] — batched scores via MultiGet.
-		if len(cmd) < 3 {
-			w.WriteError("wrong number of arguments for ZMSCORE")
-			return
-		}
-		members := cmd[2:]
-		vals := make([]uint64, len(members))
-		found := make([]bool, len(members))
-		s.set(string(cmd[1])).MultiGet(members, vals, found)
-		w.WriteArrayHeader(len(members))
-		for i := range members {
-			if found[i] {
-				w.WriteBulk([]byte(strconv.FormatUint(vals[i], 10)))
-			} else {
-				w.WriteBulk(nil)
-			}
-		}
-	case "ZREM":
-		if len(cmd) != 3 {
-			w.WriteError("wrong number of arguments for ZREM")
-			return
-		}
-		if s.rejectReadonly(w) {
-			return
-		}
-		if unlock := s.lockWrite(string(cmd[1])); unlock != nil {
-			defer unlock()
-		}
-		if s.set(string(cmd[1])).Delete(cmd[2]) {
-			// Only a removal that happened is logged: replaying a delete of
-			// a key that was never there is harmless, but not logging one
-			// that was would resurrect the key on recovery.
-			lsn, err := s.logWrite(persist.OpDelete, string(cmd[1]), cmd[2], 0)
-			if err != nil {
-				w.WriteError("persistence: " + err.Error())
-				return
-			}
-			cs.lastWrite = lsn
-			w.WriteInt(1)
-		} else {
-			w.WriteInt(0)
-		}
-	case "ZRANGEBYLEX":
-		// ZRANGEBYLEX key start count — scan `count` members ≥ start.
-		if len(cmd) != 4 {
-			w.WriteError("wrong number of arguments for ZRANGEBYLEX")
-			return
-		}
-		count, err := strconv.Atoi(string(cmd[3]))
-		if err != nil || count < 0 {
-			w.WriteError("count is not an integer")
-			return
-		}
-		var members [][]byte
-		s.set(string(cmd[1])).Scan(cmd[2], count, func(k []byte, v uint64) bool {
-			// Per-element system work: copy the member for the reply (the
-			// work that §4.4's next-leaf prefetch overlaps with).
-			members = append(members, append([]byte(nil), k...))
-			sink += v
-			return true
-		})
-		w.WriteArrayHeader(len(members))
-		for _, m := range members {
-			w.WriteBulk(m)
-		}
-	case "DBSIZE":
-		w.WriteInt(int64(s.ks.totalLen()))
-	case "FLUSHALL":
-		if s.rejectReadonly(w) {
-			return
-		}
-		if unlock := s.lockAllWrites(); unlock != nil {
-			defer unlock()
-		}
-		s.ks.flush()
-		lsn, err := s.logWrite(persist.OpFlushAll, "", nil, 0)
-		if err != nil {
-			w.WriteError("persistence: " + err.Error())
-			return
-		}
-		cs.lastWrite = lsn
-		w.WriteSimple("OK")
-	case "SAVE":
-		// Foreground snapshot; in serial mode cmdMu is already held by this
-		// dispatch, so save must not retake it.
-		if err := s.save(s.serial); err != nil {
-			w.WriteError(err.Error())
-			return
-		}
-		w.WriteSimple("OK")
-	case "BGSAVE":
-		if !s.Persistent() {
-			w.WriteError(ErrNoPersistence.Error())
-			return
-		}
-		if s.BGSave() {
-			w.WriteSimple("Background saving started")
-		} else {
-			w.WriteSimple("Background save already in progress")
-		}
-	case "REPLICAOF", "SLAVEOF":
-		s.cmdReplicaOf(w, cmd)
-	case "REPLCONF":
-		s.cmdReplconf(w, cs, cmd)
-	case "WAIT":
-		// A WAIT that reached dispatch was pipelined behind other commands
-		// (a lone WAIT bypasses cmdMu in serve). Waiting here under cmdMu
-		// only delays other clients, never the acks themselves: replica
-		// appliers and ack readers run outside this server's command loop.
-		s.cmdWait(w, cs, cmd, true)
-	case "INFO":
-		s.cmdInfo(w, cmd)
-	default:
-		w.WriteError(fmt.Sprintf("unknown command '%s'", cmd[0]))
-	}
-	_ = sink
 }
 
 // Client is a minimal pipelining RESP client for the benchmarks.

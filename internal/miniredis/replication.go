@@ -188,8 +188,12 @@ func (s *Server) cmdReplconf(w *resp.Writer, cs *connState, cmd [][]byte) {
 // cmdWait handles WAIT <numreplicas> <timeout-ms>: it blocks until the
 // given number of replicas have acknowledged this connection's last write
 // (timeout 0 = indefinitely) and replies with the count that had at that
-// moment. With no replication manager the answer is always 0.
-func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte, underCmd bool) {
+// moment. With no replication manager the answer is always 0. It always
+// runs bare on the connection goroutine — dispatch splits WAIT out of
+// every batch in every execution mode — so neither of its parks (the
+// local-durability gate below, then WaitAcks) can hold a lock another
+// connection's writes or the replication appliers need.
+func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte) {
 	if len(cmd) != 3 {
 		w.WriteError("wrong number of arguments for WAIT")
 		return
@@ -204,11 +208,10 @@ func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte, underCmd b
 	// claim more than the log can back (acks must not run ahead of
 	// durability, even though replication shipping may). Under group/async
 	// this parks on the group syncer; under the inline policies Commit
-	// syncs on the spot. The one exception is a WAIT pipelined into a
-	// serial server's batch: it runs under cmdMu, where parking would stall
-	// the very command loop that feeds the syncer's batches — there the
-	// post-batch barrier in serve (group mode) gates the flush instead.
-	if s.wal != nil && cs.lastWrite > 0 && !(underCmd && s.serial) {
+	// syncs on the spot. The gate applies identically in every execution
+	// mode, pipelined or lone: dispatch guarantees no execution lock is
+	// held here, so parking stalls only this connection.
+	if s.wal != nil && cs.lastWrite > 0 {
 		if err := s.wal.Commit(cs.lastWrite); err != nil {
 			w.WriteError("persistence: " + err.Error())
 			return
@@ -333,24 +336,23 @@ func (s *Server) servePSync(conn net.Conn, r *resp.Reader, w *resp.Writer, cs *c
 
 // replTarget adapts the server to repl.Target: the replica session's
 // single applier goroutine funnels all keyspace mutation through these
-// three methods. On a serial server they take cmdMu — the engine may not
-// be concurrent-safe, so replicated writes must quiesce client reads
-// exactly as local writes quiesce each other.
+// three methods. Each takes the server's quiesce lock — cmdMu on a serial
+// server, the all-stripe executor barrier under striped-exec, nothing
+// under striped-conn — because the engine may not be concurrent-safe:
+// replicated writes must quiesce client reads exactly as local writes
+// quiesce each other. Replicas are memory-only (no WAL), so holding the
+// quiesce lock across a batch can never park on a group commit.
 type replTarget struct{ s *Server }
 
 func (t replTarget) FlushAll() {
-	if t.s.serial {
-		t.s.cmdMu.Lock()
-		defer t.s.cmdMu.Unlock()
-	}
+	release := t.s.quiesce()
+	defer release()
 	t.s.ks.flush()
 }
 
 func (t replTarget) LoadSnapshot(sets []persist.SnapshotSet) error {
-	if t.s.serial {
-		t.s.cmdMu.Lock()
-		defer t.s.cmdMu.Unlock()
-	}
+	release := t.s.quiesce()
+	defer release()
 	for _, set := range sets {
 		hint := set.LenHint
 		if hint < len(set.Keys) {
@@ -372,10 +374,8 @@ func (t replTarget) LoadSnapshot(sets []persist.SnapshotSet) error {
 }
 
 func (t replTarget) ApplyBatch(recs []persist.Record) error {
-	if t.s.serial {
-		t.s.cmdMu.Lock()
-		defer t.s.cmdMu.Unlock()
-	}
+	release := t.s.quiesce()
+	defer release()
 	for i := range recs {
 		rec := &recs[i]
 		switch rec.Op {

@@ -21,8 +21,15 @@ type Reader struct {
 	br *bufio.Reader
 }
 
-// NewReader wraps r.
+// NewReader wraps r with the default 64 KiB buffer.
 func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 64<<10)} }
+
+// NewReaderSize wraps r with an explicit buffer size. A many-connection
+// server sizes per-connection buffers down (a pipeline batch fits in a few
+// KiB); clients and replication feeds keep the large default.
+func NewReaderSize(r io.Reader, size int) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, size)}
+}
 
 // Inner exposes the underlying buffered reader. Replication needs it: a
 // PSYNC handshake runs over RESP, then the same connection switches to a
@@ -299,8 +306,13 @@ type Writer struct {
 	bw *bufio.Writer
 }
 
-// NewWriter wraps w.
+// NewWriter wraps w with the default 64 KiB buffer.
 func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriterSize(w, 64<<10)} }
+
+// NewWriterSize wraps w with an explicit buffer size (see NewReaderSize).
+func NewWriterSize(w io.Writer, size int) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, size)}
+}
 
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
