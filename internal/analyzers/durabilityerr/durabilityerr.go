@@ -50,6 +50,9 @@ var watchedCalls = []watched{
 	{"resp", "Writer", "WriteRaw"},
 	// Server close drains background saves and closes the WAL.
 	{"miniredis", "Server", "Close"},
+	// Figure emission: a dropped error silently truncates a recorded
+	// benchmark run — the observability analog of an unacked write.
+	{"bench", "Report", "WriteJSON"},
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -1,0 +1,11 @@
+// Package bench stubs the repo's figure report emitter for the
+// durabilityerr fixtures.
+package bench
+
+import "io"
+
+// Report stands in for one figure's emitted report.
+type Report struct{}
+
+// WriteJSON emits the report as one JSON document.
+func (rep Report) WriteJSON(w io.Writer) error { return nil }

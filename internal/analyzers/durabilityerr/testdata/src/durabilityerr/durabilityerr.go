@@ -4,16 +4,18 @@
 package durabilityerr
 
 import (
+	"bench"
 	"persist"
 	"resp"
 )
 
-func discards(w *persist.WAL, rw *resp.Writer) {
+func discards(w *persist.WAL, rw *resp.Writer, rep bench.Report) {
 	w.Sync()                   // want `error from \(persist\.WAL\)\.Sync is discarded`
 	w.Commit(7)                // want `error from \(persist\.WAL\)\.Commit is discarded`
 	rw.Flush()                 // want `error from \(resp\.Writer\)\.Flush is discarded`
 	rw.WriteRaw(nil)           // want `error from \(resp\.Writer\)\.WriteRaw is discarded`
 	persist.WriteSnapshot("x") // want `error from persist\.WriteSnapshot is discarded`
+	rep.WriteJSON(nil)         // want `error from \(bench\.Report\)\.WriteJSON is discarded`
 }
 
 func blanks(w *persist.WAL, rw *resp.Writer) {
@@ -22,6 +24,14 @@ func blanks(w *persist.WAL, rw *resp.Writer) {
 	lsn, _ := w.Append(nil) // want `error from \(persist\.WAL\)\.Append is assigned to _`
 	_ = lsn
 	_ = rw.WriteCommand(nil) // want `error from \(resp\.Writer\)\.WriteCommand is assigned to _`
+}
+
+func blankedReport(rep bench.Report) {
+	_ = rep.WriteJSON(nil) // want `error from \(bench\.Report\)\.WriteJSON is assigned to _`
+}
+
+func consumedReport(rep bench.Report) error {
+	return rep.WriteJSON(nil)
 }
 
 func unobservable(w *persist.WAL, rw *resp.Writer) {

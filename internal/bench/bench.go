@@ -190,11 +190,36 @@ func mops(ops int, d time.Duration) float64 {
 // runWorkload measures a YCSB workload with the given thread count.
 // keys[0:loaded] are pre-loaded; the rest feed inserts.
 func runWorkload(e Engine, w ycsb.Workload, keys [][]byte, loaded, ops, threads int, seed int64) float64 {
+	m, _ := measureWorkload(e, w, keys, loaded, ops, threads, seed, false)
+	return m
+}
+
+// runWorkloadLat is runWorkload with per-op latency capture: the engine
+// runs behind index.Tracked (one clock pair per op on top of the
+// workload), a sampler watches per-timeslice throughput for the
+// stability check, and the merged per-op distribution becomes the cell's
+// latency columns. Figures that report tails use this path; figures that
+// only compare throughput keep the untracked one.
+func runWorkloadLat(e Engine, w ycsb.Workload, keys [][]byte, loaded, ops, threads int, seed int64) (float64, latCell) {
+	return measureWorkload(e, w, keys, loaded, ops, threads, seed, true)
+}
+
+func measureWorkload(e Engine, w ycsb.Workload, keys [][]byte, loaded, ops, threads int, seed int64, track bool) (float64, latCell) {
 	if w == ycsb.Load {
 		// LOAD measures insertion of the whole dataset.
-		return runLoad(e, keys, threads)
+		return runLoad(e, keys, threads, seed, track)
 	}
 	ix := load(e, keys, loaded)
+	var (
+		target index.Index = ix
+		tr     *index.TrackedIndex
+		smp    *cvSampler
+	)
+	if track {
+		tr = index.Tracked(ix)
+		target = tr
+		smp = startCVSampler(tr.TotalOps)
+	}
 	perThread := ops / threads
 	extraPer := (len(keys) - loaded) / maxInt(threads, 1)
 	var wg sync.WaitGroup
@@ -213,15 +238,30 @@ func runWorkload(e Engine, w ycsb.Workload, keys [][]byte, loaded, ops, threads 
 			tk = append(tk, keys[:loaded]...)
 			tk = append(tk, keys[lo:hi]...)
 			g := ycsb.NewGenerator(w, ycsb.Uniform, tk, loaded, seed+int64(t))
-			g.Run(ix, perThread)
+			g.Run(target, perThread)
 		}(t)
 	}
 	wg.Wait()
-	return mops(perThread*threads, time.Since(start))
+	m := mops(perThread*threads, time.Since(start))
+	var lat latCell
+	if track {
+		lat = latFromSnapshot(tr.Snapshot(), seed)
+		lat.CVPct = smp.CVPct()
+	}
+	return m, lat
 }
 
-func runLoad(e Engine, keys [][]byte, threads int) float64 {
-	ix := e.New(len(keys))
+func runLoad(e Engine, keys [][]byte, threads int, seed int64, track bool) (float64, latCell) {
+	var (
+		target index.Index = e.New(len(keys))
+		tr     *index.TrackedIndex
+		smp    *cvSampler
+	)
+	if track {
+		tr = index.Tracked(target)
+		target = tr
+		smp = startCVSampler(tr.TotalOps)
+	}
 	per := len(keys) / threads
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -234,14 +274,20 @@ func runLoad(e Engine, keys [][]byte, threads int) float64 {
 				hi = len(keys)
 			}
 			for i := lo; i < hi; i++ {
-				if _, err := ix.Set(keys[i], uint64(i)); err != nil {
+				if _, err := target.Set(keys[i], uint64(i)); err != nil {
 					panic(fmt.Sprintf("%s load: %v", e.Name, err))
 				}
 			}
 		}(t)
 	}
 	wg.Wait()
-	return mops(len(keys), time.Since(start))
+	m := mops(len(keys), time.Since(start))
+	var lat latCell
+	if track {
+		lat = latFromSnapshot(tr.Snapshot(), seed)
+		lat.CVPct = smp.CVPct()
+	}
+	return m, lat
 }
 
 func maxInt(a, b int) int {

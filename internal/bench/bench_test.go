@@ -249,13 +249,30 @@ func TestJSONReports(t *testing.T) {
 			}
 		}
 	}
+	// wantLatency: every row must carry the latency axes — a sane p50≤p99
+	// ordering and a max at least as large as p99.9. Any figure whose
+	// inner loop is instrumented gets this composed onto its check.
+	wantLatency := func(inner check) check {
+		return func(t *testing.T, rep Report) {
+			t.Helper()
+			inner(t, rep)
+			for _, r := range rep.Rows {
+				if r.P99us <= 0 {
+					t.Fatalf("row %+v carries no latency measurement", r)
+				}
+				if r.P50us > r.P99us || r.P99us > r.P999us || r.P999us > r.MaxUs {
+					t.Fatalf("row %+v: latency percentiles out of order", r)
+				}
+			}
+		}
+	}
 	cases := map[string]struct {
 		emit  func(io.Writer, Options) error
 		check check
 	}{
 		"load":    {FigLoadJSON, wantSampled},
 		"sharded": {FigShardedJSON, wantSampled},
-		"fig7":    {Fig7JSON, wantWorkloads("LOAD", "A", "C")},
+		"fig7":    {Fig7JSON, wantLatency(wantWorkloads("LOAD", "A", "C"))},
 		"fig8":    {Fig8JSON, wantWorkloads("LOAD", "A", "C")},
 		"fig10":   {Fig10JSON, wantWorkloads("E")},
 		"persist": {FigPersistJSON, func(t *testing.T, rep Report) {
@@ -278,6 +295,18 @@ func TestJSONReports(t *testing.T) {
 			}
 			if rep.Writers != walGroupWriters {
 				t.Fatalf("persist report writers banner = %d, want %d", rep.Writers, walGroupWriters)
+			}
+			// The per-op write cells are the ones a server would charge a
+			// command; they must carry the latency axes. Bulk cells
+			// (load/snapshot/recover/replay) measure whole passes and stay bare.
+			for _, r := range rep.Rows {
+				perOp := r.Mode == "set-mem" || strings.HasPrefix(r.Mode, "wal-")
+				if perOp && r.P99us <= 0 {
+					t.Fatalf("persist row %+v carries no latency measurement", r)
+				}
+				if !perOp && r.P99us != 0 {
+					t.Fatalf("persist row %+v: bulk cell should not report per-op latency", r)
+				}
 			}
 		}},
 		"repl": {FigReplJSON, func(t *testing.T, rep Report) {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/miniredis"
 )
 
@@ -42,14 +43,17 @@ func execReport(o Options) Report {
 	ops := minInt(o.Ops, 200_000)
 	for _, mode := range execModesSweep {
 		for _, wl := range execWorkloads {
-			rep.Rows = append(rep.Rows, Row{
+			m, lat := execZAddMops(e, mode, wl, ops, o)
+			row := Row{
 				Engine:   e.Name,
 				Workload: wl,
 				Mode:     string(mode),
 				Shards:   1,
 				Threads:  1,
-				Mops:     execZAddMops(e, mode, wl, ops, o),
-			})
+				Mops:     m,
+			}
+			applyLat(&row, lat)
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
 	return rep
@@ -57,8 +61,10 @@ func execReport(o Options) Report {
 
 // execZAddMops runs one cell: ops fresh-key ZADDs from a single client in
 // execPipelineDepth-deep pipelines, round-robin across the workload's set
-// count, against a memory-only server in the given mode.
-func execZAddMops(e Engine, mode miniredis.ExecMode, wl string, ops int, o Options) float64 {
+// count, against a memory-only server in the given mode. Each pipeline's
+// round trip (write, dispatch, reply reassembly, read) is one latency
+// sample — the unit the client actually waits on.
+func execZAddMops(e Engine, mode miniredis.ExecMode, wl string, ops int, o Options) (float64, latCell) {
 	srv := miniredis.NewServerExec(e.New, o.Keys, mode)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -80,24 +86,29 @@ func execZAddMops(e Engine, mode miniredis.ExecMode, wl string, ops int, o Optio
 	for i := range sets {
 		sets[i] = []byte(fmt.Sprintf("exec%d", i))
 	}
+	h := metrics.New()
 	start := time.Now()
 	pipe := make([][][]byte, 0, execPipelineDepth)
 	for i := 0; i < ops; i++ {
 		pipe = append(pipe, [][]byte{[]byte("ZADD"), sets[i%nsets],
 			[]byte(fmt.Sprintf("m%08d", i)), []byte("1")})
 		if len(pipe) == execPipelineDepth {
+			rtt := time.Now()
 			if _, err := cl.Pipeline(pipe); err != nil {
 				panic(fmt.Sprintf("exec figure: pipeline: %v", err))
 			}
+			h.RecordDuration(int64(time.Since(rtt)))
 			pipe = pipe[:0]
 		}
 	}
 	if len(pipe) > 0 {
+		rtt := time.Now()
 		if _, err := cl.Pipeline(pipe); err != nil {
 			panic(fmt.Sprintf("exec figure: pipeline: %v", err))
 		}
+		h.RecordDuration(int64(time.Since(rtt)))
 	}
-	return mops(ops, time.Since(start))
+	return mops(ops, time.Since(start)), latFromSnapshot(h.Snapshot(), o.Seed)
 }
 
 // FigExec renders the execution-mode figure: single-connection pipelined
@@ -122,8 +133,18 @@ func FigExec(w io.Writer, o Options) {
 			fmt.Fprintf(w, "%14.3f", r.Mops)
 		}
 	}
+	fmt.Fprintf(w, "\n\n%-22s pipeline RTT µs (p50/p99/p999 ± p99 CI):", "")
+	for _, wl := range execWorkloads {
+		fmt.Fprintf(w, "\n%-22s", wl)
+		for _, mode := range execModesSweep {
+			r := rows[Row{Engine: "CuckooTrie", Workload: wl, Mode: string(mode),
+				Shards: 1, Threads: 1}.axes()]
+			fmt.Fprintf(w, " %21s", latCol(r))
+		}
+	}
 	fmt.Fprintf(w, "\n(one client, %d-deep pipelines; disjoint = round-robin over %d sets, shared = one set; GOMAXPROCS=1 runs bound fan-out overhead, not speedup)\n",
 		execPipelineDepth, execDisjointSets)
+	fmt.Fprintf(w, "(latency is per %d-op pipeline round trip)\n", execPipelineDepth)
 }
 
 // FigExecJSON is FigExec's -json mode: the same measurements as one JSON

@@ -222,14 +222,17 @@ func ycsbPointReport(figure string, o Options, threads int) Report {
 			}
 			for _, ds := range dataset.All {
 				keys := datasetKeys(ds, o.Keys, o.Seed)
-				rep.Rows = append(rep.Rows, Row{
+				m, lat := runWorkloadLat(e, wl, keys, loadedFor(wl, len(keys)), o.Ops, threads, o.Seed)
+				row := Row{
 					Engine:   e.Name,
 					Dataset:  string(ds),
 					Workload: string(wl),
 					Threads:  threads,
 					Shards:   1,
-					Mops:     runWorkload(e, wl, keys, loadedFor(wl, len(keys)), o.Ops, threads, o.Seed),
-				})
+					Mops:     m,
+				}
+				applyLat(&row, lat)
+				rep.Rows = append(rep.Rows, row)
 			}
 		}
 	}
@@ -263,7 +266,21 @@ func renderYCSB(w io.Writer, rep Report) {
 			}
 			fmt.Fprintln(w)
 		}
+		fmt.Fprintf(w, "latency µs (p50/p99/p999 ± p99 CI):\n")
+		for _, e := range Engines() {
+			if threads > 1 && !e.Concurrent {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s", e.Name)
+			for _, ds := range dataset.All {
+				r := rows[Row{Engine: e.Name, Dataset: string(ds), Workload: string(wl),
+					Threads: threads, Shards: 1}.axes()]
+				fmt.Fprintf(w, " %21s", latCol(r))
+			}
+			fmt.Fprintln(w)
+		}
 	}
+	stabilityBanner(w, rep)
 }
 
 // loadedFor leaves headroom keys for insert-bearing workloads.
@@ -321,14 +338,17 @@ func fig10Report(o Options) Report {
 			}
 			for _, ds := range dataset.All {
 				keys := datasetKeys(ds, o.Keys, o.Seed)
-				rep.Rows = append(rep.Rows, Row{
+				m, lat := runWorkloadLat(e, ycsb.E, keys, loadedFor(ycsb.E, len(keys)), minInt(o.Ops, 50_000), threads, o.Seed)
+				row := Row{
 					Engine:   e.Name,
 					Dataset:  string(ds),
 					Workload: string(ycsb.E),
 					Threads:  threads,
 					Shards:   1,
-					Mops:     runWorkload(e, ycsb.E, keys, loadedFor(ycsb.E, len(keys)), minInt(o.Ops, 50_000), threads, o.Seed),
-				})
+					Mops:     m,
+				}
+				applyLat(&row, lat)
+				rep.Rows = append(rep.Rows, row)
 			}
 		}
 	}
@@ -364,7 +384,21 @@ func Fig10(w io.Writer, o Options) {
 			}
 			fmt.Fprintln(w)
 		}
+		fmt.Fprintf(w, "latency µs (p50/p99/p999 ± p99 CI):\n")
+		for _, e := range Engines() {
+			if threads > 1 && !e.Concurrent {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s", e.Name)
+			for _, ds := range dataset.All {
+				r := rows[Row{Engine: e.Name, Dataset: string(ds), Workload: string(ycsb.E),
+					Threads: threads, Shards: 1}.axes()]
+				fmt.Fprintf(w, " %21s", latCol(r))
+			}
+			fmt.Fprintln(w)
+		}
 	}
+	stabilityBanner(w, rep)
 }
 
 // Fig10JSON is Fig10's -json mode.

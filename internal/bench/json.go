@@ -51,6 +51,20 @@ type Row struct {
 	Mops     float64 `json:"mops"`
 	Balance  float64 `json:"balance_max_mean,omitempty"`
 	LagMS    float64 `json:"lag_ms,omitempty"`
+
+	// Latency axes (µs), measured per op for the YCSB/persist set paths
+	// and per pipeline for the RESP figures (exec/repl) — see each
+	// figure's footer for the unit it measured. P99CIus is the half-width
+	// of a bootstrap-resampled 95% confidence interval around p99; CVPct
+	// is the coefficient of variation of per-timeslice throughput (the
+	// noisy-run flag). All are measurements, not identity: they stay out
+	// of axes() and are omitted where a cell did not capture latency.
+	P50us   float64 `json:"p50_us,omitempty"`
+	P99us   float64 `json:"p99_us,omitempty"`
+	P999us  float64 `json:"p999_us,omitempty"`
+	P99CIus float64 `json:"p99_ci_us,omitempty"`
+	MaxUs   float64 `json:"max_us,omitempty"`
+	CVPct   float64 `json:"cv_pct,omitempty"`
 }
 
 // axes serializes every identifying axis of a row (everything but the

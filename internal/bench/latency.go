@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latResamples is the bootstrap resample count behind every reported
+// confidence interval; enough for a stable 95% percentile interval
+// without the resampling showing up in figure runtime.
+const latResamples = 200
+
+// cvInterval is the timeslice width of the throughput-stability check.
+const cvInterval = 10 * time.Millisecond
+
+// noisyCVPct is the stability threshold: a cell whose per-timeslice
+// throughput varies by more than this (CV, percent) gets the figure
+// banner's NOISY flag — its tail percentiles reflect interference, not
+// the engine.
+const noisyCVPct = 20.0
+
+// latCell carries one cell's latency measurements in µs, in the same
+// shape Row stores them.
+type latCell struct {
+	P50us   float64
+	P99us   float64
+	P999us  float64
+	P99CIus float64
+	MaxUs   float64
+	CVPct   float64
+}
+
+func usOf(ns uint64) float64 { return float64(ns) / 1e3 }
+
+// latFromSnapshot extracts the reported percentiles and the bootstrap CI
+// half-width around p99 from a merged histogram snapshot. The seed keeps
+// the resampling (and thus the emitted JSON) reproducible.
+func latFromSnapshot(sn metrics.Snapshot, seed int64) latCell {
+	if sn.Count() == 0 {
+		return latCell{}
+	}
+	lo, hi := sn.QuantileCI(0.99, latResamples, seed)
+	return latCell{
+		P50us:   usOf(sn.Quantile(0.5)),
+		P99us:   usOf(sn.Quantile(0.99)),
+		P999us:  usOf(sn.Quantile(0.999)),
+		P99CIus: usOf(hi-lo) / 2,
+		MaxUs:   usOf(sn.Max()),
+	}
+}
+
+// applyLat copies a cell's latency measurements onto its row.
+func applyLat(r *Row, l latCell) {
+	r.P50us, r.P99us, r.P999us = l.P50us, l.P99us, l.P999us
+	r.P99CIus, r.MaxUs, r.CVPct = l.P99CIus, l.MaxUs, l.CVPct
+}
+
+// cvSampler watches a monotonically-increasing op counter on a fixed
+// interval so a run's throughput can be judged for stability afterwards.
+type cvSampler struct {
+	stop   chan struct{}
+	done   chan struct{}
+	counts []uint64
+}
+
+func startCVSampler(read func() uint64) *cvSampler {
+	s := &cvSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(cvInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.counts = append(s.counts, read())
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// CVPct stops the sampler and returns the coefficient of variation of
+// per-timeslice throughput, in percent — 0 when the run finished before
+// enough full timeslices accumulated to judge.
+func (s *cvSampler) CVPct() float64 {
+	close(s.stop)
+	<-s.done
+	deltas := make([]float64, 0, len(s.counts))
+	var prev uint64
+	for _, c := range s.counts {
+		deltas = append(deltas, float64(c-prev))
+		prev = c
+	}
+	cv := metrics.CV(deltas)
+	if cv < 0 {
+		return 0
+	}
+	return cv * 100
+}
+
+// fmtUs formats a µs value for a latency table cell.
+func fmtUs(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// latCol renders one row's latency cell as "p50/p99/p999±ci" (µs, the
+// ±half-width being p99's bootstrap CI), or "-" when the cell carries no
+// latency measurement.
+func latCol(r Row) string {
+	if r.P99us == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%s/%s±%s", fmtUs(r.P50us), fmtUs(r.P99us), fmtUs(r.P999us), fmtUs(r.P99CIus))
+}
+
+// stabilityBanner prints the figure's throughput-stability line: the
+// worst per-cell CV, flagged NOISY when it crosses noisyCVPct. Figures
+// whose cells ran too briefly to sample print nothing.
+func stabilityBanner(w io.Writer, rep Report) {
+	maxCV := 0.0
+	for _, r := range rep.Rows {
+		if r.CVPct > maxCV {
+			maxCV = r.CVPct
+		}
+	}
+	if maxCV == 0 {
+		return
+	}
+	verdict := "stable"
+	if maxCV > noisyCVPct {
+		verdict = fmt.Sprintf("NOISY, tails untrustworthy above %.0f%%", noisyCVPct)
+	}
+	fmt.Fprintf(w, "(throughput stability: worst per-cell CV %.1f%% over %v slices — %s)\n",
+		maxCV, cvInterval, verdict)
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/persist"
 )
 
@@ -65,15 +66,17 @@ func persistReport(o Options) Report {
 		if err != nil {
 			panic(fmt.Sprintf("persist figure: %v", err))
 		}
-		row := func(mode string, ops int, d time.Duration, balance float64) {
-			rep.Rows = append(rep.Rows, Row{
+		row := func(mode string, ops int, d time.Duration, balance float64, lat latCell) {
+			r := Row{
 				Engine:  e.Name,
 				Dataset: string(dataset.Rand8),
 				Mode:    mode,
 				Shards:  1,
 				Mops:    mops(ops, d),
 				Balance: balance,
-			})
+			}
+			applyLat(&r, lat)
+			rep.Rows = append(rep.Rows, r)
 		}
 
 		// Memory-only bulk load: the ingest baseline.
@@ -82,14 +85,14 @@ func persistReport(o Options) Report {
 		if _, err := index.BulkLoad(ix, ks, vals); err != nil {
 			panic(fmt.Sprintf("%s load: %v", e.Name, err))
 		}
-		row("load-mem", len(ks), time.Since(start), 0)
+		row("load-mem", len(ks), time.Since(start), 0, latCell{})
 
 		// Snapshot write: the loaded index through its cursor to disk.
 		start = time.Now()
 		if _, err := persist.SaveIndex(dir, 0, ix); err != nil {
 			panic(fmt.Sprintf("%s snapshot: %v", e.Name, err))
 		}
-		row("snapshot", len(ks), time.Since(start), 0)
+		row("snapshot", len(ks), time.Since(start), 0, latCell{})
 
 		// Recovery: snapshot bulk-loaded into a fresh index — for the
 		// sampled variant the router trains from this very stream, and the
@@ -99,13 +102,18 @@ func persistReport(o Options) Report {
 		if err != nil {
 			panic(fmt.Sprintf("%s recover: %v", e.Name, err))
 		}
-		row("recover", len(ks), time.Since(start), balanceOf(rec))
+		row("recover", len(ks), time.Since(start), balanceOf(rec), latCell{})
 
-		// Per-op Set baseline, then Set+WAL under each fsync policy.
-		setLoop := func(wal *persist.WAL, n int) time.Duration {
+		// Per-op Set baseline, then Set+WAL under each fsync policy. Each
+		// iteration (Set, plus the WAL append when one is wired in) is one
+		// latency sample — the write path a serial server would charge one
+		// command.
+		setLoop := func(wal *persist.WAL, n int) (time.Duration, latCell) {
 			fresh := e.New(n)
+			h := metrics.New()
 			start := time.Now()
 			for i := 0; i < n; i++ {
+				opStart := time.Now()
 				if _, err := fresh.Set(ks[i], vals[i]); err != nil {
 					panic(fmt.Sprintf("%s set: %v", e.Name, err))
 				}
@@ -114,10 +122,12 @@ func persistReport(o Options) Report {
 						panic(fmt.Sprintf("%s wal append: %v", e.Name, err))
 					}
 				}
+				h.RecordDuration(int64(time.Since(opStart)))
 			}
-			return time.Since(start)
+			return time.Since(start), latFromSnapshot(h.Snapshot(), o.Seed)
 		}
-		row("set-mem", nops, setLoop(nil, nops), 0)
+		d, lat := setLoop(nil, nops)
+		row("set-mem", nops, d, 0, lat)
 
 		// Group-commit cells: walGroupWriters concurrent writers, each
 		// applying+logging a pipeline under a shared mutex (engines need not
@@ -125,7 +135,10 @@ func persistReport(o Options) Report {
 		// and then parking on the pipeline's last LSN (group) or acking
 		// immediately (async). The writers share the syncer's coalesced
 		// fsyncs, which is the entire measurement.
-		groupLoop := func(pol persist.FsyncPolicy, n int) time.Duration {
+		// Each writer's pipeline — lock, apply+append 64 ops, then park on
+		// Commit (group) or ack immediately (async) — is one latency
+		// sample: the unit a pipelined RESP client would wait on.
+		groupLoop := func(pol persist.FsyncPolicy, n int) (time.Duration, latCell) {
 			walDir, err := os.MkdirTemp("", "ctbench-wal-*")
 			if err != nil {
 				panic(fmt.Sprintf("persist figure: %v", err))
@@ -136,6 +149,7 @@ func persistReport(o Options) Report {
 				panic(fmt.Sprintf("%s wal open: %v", e.Name, err))
 			}
 			fresh := e.New(n)
+			h := metrics.New()
 			var setMu sync.Mutex
 			var wg sync.WaitGroup
 			per := n / walGroupWriters
@@ -151,6 +165,7 @@ func persistReport(o Options) Report {
 					for i := lo; i < hi; {
 						end := minInt(i+walGroupPipeline, hi)
 						var last uint64
+						pipeStart := time.Now()
 						setMu.Lock()
 						for ; i < end; i++ {
 							if _, err := fresh.Set(ks[i], vals[i]); err != nil {
@@ -166,6 +181,7 @@ func persistReport(o Options) Report {
 								panic(fmt.Sprintf("%s wal commit: %v", e.Name, err))
 							}
 						}
+						h.RecordDuration(int64(time.Since(pipeStart)))
 					}
 				}(g)
 			}
@@ -174,7 +190,7 @@ func persistReport(o Options) Report {
 			if err := wal.Close(); err != nil {
 				panic(fmt.Sprintf("%s wal close: %v", e.Name, err))
 			}
-			return d
+			return d, latFromSnapshot(h.Snapshot(), o.Seed)
 		}
 
 		var replayDir string
@@ -191,19 +207,21 @@ func persistReport(o Options) Report {
 			if err != nil {
 				panic(fmt.Sprintf("%s wal open: %v", e.Name, err))
 			}
-			d := setLoop(wal, n)
+			d, lat := setLoop(wal, n)
 			if err := wal.Close(); err != nil {
 				panic(fmt.Sprintf("%s wal close: %v", e.Name, err))
 			}
-			row("wal-"+pol.String(), n, d, 0)
+			row("wal-"+pol.String(), n, d, 0, lat)
 			if pol == persist.FsyncNo {
 				replayDir = walDir // reuse its records for the replay cell
 			} else {
 				os.RemoveAll(walDir)
 			}
 		}
-		row("wal-group", nops, groupLoop(persist.FsyncGroup, nops), 0)
-		row("wal-async", nops, groupLoop(persist.FsyncAsync, nops), 0)
+		d, lat = groupLoop(persist.FsyncGroup, nops)
+		row("wal-group", nops, d, 0, lat)
+		d, lat = groupLoop(persist.FsyncAsync, nops)
+		row("wal-async", nops, d, 0, lat)
 
 		// WAL-only recovery: replay throughput with no snapshot to seed.
 		start = time.Now()
@@ -214,7 +232,7 @@ func persistReport(o Options) Report {
 		if replayed.Len() == 0 {
 			panic("persist figure: replay recovered nothing")
 		}
-		row("replay", nops, time.Since(start), 0)
+		row("replay", nops, time.Since(start), 0, latCell{})
 
 		os.RemoveAll(replayDir)
 		os.RemoveAll(dir)
@@ -256,9 +274,20 @@ func FigPersist(w io.Writer, o Options) {
 				e.Name, r.Balance)
 		}
 	}
+	fmt.Fprintf(w, "\n%-22s latency µs (p50/p99/p999 ± p99 CI) per write-path cell:\n", "")
+	for _, e := range persistEngines() {
+		fmt.Fprintf(w, "%-22s", e.Name)
+		for _, m := range persistModes {
+			r := rows[Row{Engine: e.Name, Dataset: string(dataset.Rand8), Mode: m, Shards: 1}.axes()]
+			fmt.Fprintf(w, " %21s", latCol(r))
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "(wal-always measured over ≤%d ops: one fsync per op is the cost under test)\n", walAlwaysOpsCap)
 	fmt.Fprintf(w, "(wal-group/wal-async: %d concurrent writers, %d-deep pipelines, full op count — the coalesced fsync is the win under test)\n",
 		walGroupWriters, walGroupPipeline)
+	fmt.Fprintf(w, "(latency: set-mem/wal-no/everysec/always per op; wal-group/wal-async per %d-op pipeline incl. the Commit park)\n",
+		walGroupPipeline)
 }
 
 // FigPersistJSON is FigPersist's -json mode: the same measurements as one

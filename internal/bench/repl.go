@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/miniredis"
 	"repro/internal/persist"
 )
@@ -104,12 +105,12 @@ func replReport(o Options) Report {
 			replWaitSynced(raddr, want)
 		}
 
-		mopsRead := replReadMops(addrs, ks, ops, o.Threads, o.Seed)
+		mopsRead, lat := replReadMops(addrs, ks, ops, o.Threads, o.Seed)
 		lag := 0.0
 		if n > 0 {
 			lag = replLagMS(pc, n, round)
 		}
-		rep.Rows = append(rep.Rows, Row{
+		row := Row{
 			Engine:   e.Name,
 			Dataset:  string(dataset.Rand8),
 			Mode:     "read",
@@ -118,7 +119,9 @@ func replReport(o Options) Report {
 			Replicas: n,
 			Mops:     mopsRead,
 			LagMS:    lag,
-		})
+		}
+		applyLat(&row, lat)
+		rep.Rows = append(rep.Rows, row)
 	}
 	return rep
 }
@@ -156,12 +159,15 @@ func replWaitSynced(addr string, want int64) {
 // replReadMops measures pipelined ZSCORE throughput with threads client
 // connections spread round-robin across the given nodes (primary first).
 // Throughput is total ops over the slowest client's wall time, matching
-// the other figures' multithreaded convention.
-func replReadMops(addrs []string, ks [][]byte, ops, threads int, seed int64) float64 {
+// the other figures' multithreaded convention. Every client records each
+// pipeline's round trip into one shared (lock-free) histogram, so the
+// latency columns see all nodes, not just the fastest.
+func replReadMops(addrs []string, ks [][]byte, ops, threads int, seed int64) (float64, latCell) {
 	per := ops / threads
 	if per == 0 {
 		per = 1
 	}
+	h := metrics.New()
 	done := make(chan time.Duration, threads)
 	for t := 0; t < threads; t++ {
 		go func(t int) {
@@ -177,16 +183,20 @@ func replReadMops(addrs []string, ks [][]byte, ops, threads int, seed int64) flo
 			for i := 0; i < per; i++ {
 				pipe = append(pipe, [][]byte{[]byte("ZSCORE"), set, ks[rng.Intn(len(ks))]})
 				if len(pipe) >= 64 {
+					rtt := time.Now()
 					if _, err := cl.Pipeline(pipe); err != nil {
 						panic(fmt.Sprintf("repl figure: read pipeline: %v", err))
 					}
+					h.RecordDuration(int64(time.Since(rtt)))
 					pipe = pipe[:0]
 				}
 			}
 			if len(pipe) > 0 {
+				rtt := time.Now()
 				if _, err := cl.Pipeline(pipe); err != nil {
 					panic(fmt.Sprintf("repl figure: read pipeline: %v", err))
 				}
+				h.RecordDuration(int64(time.Since(rtt)))
 			}
 			done <- time.Since(start)
 		}(t)
@@ -197,7 +207,7 @@ func replReadMops(addrs []string, ks [][]byte, ops, threads int, seed int64) flo
 			maxDur = d
 		}
 	}
-	return mops(per*threads, maxDur)
+	return mops(per*threads, maxDur), latFromSnapshot(h.Snapshot(), seed)
 }
 
 // replLagMS writes a burst of fresh keys through the primary, then times
@@ -265,7 +275,14 @@ func FigRepl(w io.Writer, o Options) {
 			Shards: 1, Threads: o.Threads, Replicas: n}.axes()]
 		fmt.Fprintf(w, "%14.3f", r.LagMS)
 	}
+	fmt.Fprintf(w, "\n%-22s", "read RTT µs")
+	for _, n := range replCounts {
+		r := rows[Row{Engine: "CuckooTrie", Dataset: string(dataset.Rand8), Mode: "read",
+			Shards: 1, Threads: o.Threads, Replicas: n}.axes()]
+		fmt.Fprintf(w, " %13s", latCol(r))
+	}
 	fmt.Fprintf(w, "\n(lag: %d fresh ZADDs through the primary, then WAIT <replicas>; clock starts after the burst's replies)\n", replLagBurst)
+	fmt.Fprintf(w, "(read RTT: per 64-op ZSCORE pipeline round trip, p50/p99/p999 ± p99 CI)\n")
 }
 
 // FigReplJSON is FigRepl's -json mode: the same measurements as one JSON

@@ -1,0 +1,166 @@
+package index
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Op names one instrumented index operation on a TrackedIndex.
+type Op int
+
+const (
+	OpGet Op = iota
+	OpSet
+	OpMultiGet
+	OpMultiSet
+	OpDelete
+	OpScan
+	OpCursor // cursor Seek (positioning is the expensive step)
+	numOps
+)
+
+var opNames = [numOps]string{"get", "set", "multiget", "multiset", "delete", "scan", "cursor"}
+
+// String returns the op's lower-case name.
+func (o Op) String() string {
+	if o < 0 || o >= numOps {
+		return "unknown"
+	}
+	return opNames[o]
+}
+
+// TrackedIndex decorates an Index with per-op latency histograms
+// (nanoseconds). The overhead is one clock pair per call on top of two
+// atomic adds, so batched operations amortize it across the batch; the
+// wrapper forwards the Concurrent and BulkLoader capabilities of the
+// inner engine, so it can stand in anywhere the engine itself can.
+type TrackedIndex struct {
+	inner Index
+	hists [numOps]*metrics.Histogram
+}
+
+// Tracked wraps ix with latency tracking. If ix is already tracked it is
+// returned unchanged (re-wrapping would double-count).
+func Tracked(ix Index) *TrackedIndex {
+	if t, ok := ix.(*TrackedIndex); ok {
+		return t
+	}
+	t := &TrackedIndex{inner: ix}
+	for i := range t.hists {
+		t.hists[i] = metrics.New()
+	}
+	return t
+}
+
+// Unwrap returns the inner index.
+func (t *TrackedIndex) Unwrap() Index { return t.inner }
+
+// OpHist returns the live histogram for one op (shared, safe for
+// concurrent snapshotting).
+func (t *TrackedIndex) OpHist(op Op) *metrics.Histogram { return t.hists[op] }
+
+// Snapshot merges every op's histogram into one distribution.
+func (t *TrackedIndex) Snapshot() metrics.Snapshot {
+	sn := t.hists[0].Snapshot()
+	for _, h := range t.hists[1:] {
+		sn.Merge(h.Snapshot())
+	}
+	return sn
+}
+
+// TotalOps returns the number of recorded operations across all ops —
+// cheap enough for periodic throughput sampling.
+func (t *TrackedIndex) TotalOps() uint64 {
+	var n uint64
+	for _, h := range t.hists {
+		n += h.Count()
+	}
+	return n
+}
+
+// Reset clears every op histogram.
+func (t *TrackedIndex) Reset() {
+	for _, h := range t.hists {
+		h.Reset()
+	}
+}
+
+func (t *TrackedIndex) Set(key []byte, value uint64) (bool, error) {
+	start := time.Now()
+	added, err := t.inner.Set(key, value)
+	t.hists[OpSet].RecordDuration(int64(time.Since(start)))
+	return added, err
+}
+
+func (t *TrackedIndex) Get(key []byte) (uint64, bool) {
+	start := time.Now()
+	v, ok := t.inner.Get(key)
+	t.hists[OpGet].RecordDuration(int64(time.Since(start)))
+	return v, ok
+}
+
+func (t *TrackedIndex) MultiGet(keys [][]byte, vals []uint64, found []bool) {
+	start := time.Now()
+	t.inner.MultiGet(keys, vals, found)
+	t.hists[OpMultiGet].RecordDuration(int64(time.Since(start)))
+}
+
+func (t *TrackedIndex) MultiSet(keys [][]byte, vals []uint64, errs []error) int {
+	start := time.Now()
+	added := t.inner.MultiSet(keys, vals, errs)
+	t.hists[OpMultiSet].RecordDuration(int64(time.Since(start)))
+	return added
+}
+
+func (t *TrackedIndex) Delete(key []byte) bool {
+	start := time.Now()
+	ok := t.inner.Delete(key)
+	t.hists[OpDelete].RecordDuration(int64(time.Since(start)))
+	return ok
+}
+
+func (t *TrackedIndex) Scan(start []byte, n int, fn func(key []byte, value uint64) bool) int {
+	begin := time.Now()
+	visited := t.inner.Scan(start, n, fn)
+	t.hists[OpScan].RecordDuration(int64(time.Since(begin)))
+	return visited
+}
+
+// NewCursor returns a cursor whose Seek calls are timed under OpCursor;
+// Next/Key/Value stay untimed (they are too fine-grained to clock
+// per-call without distorting the iteration they measure).
+func (t *TrackedIndex) NewCursor() Cursor {
+	return &trackedCursor{Cursor: t.inner.NewCursor(), hist: t.hists[OpCursor]}
+}
+
+func (t *TrackedIndex) Len() int                   { return t.inner.Len() }
+func (t *TrackedIndex) MemoryOverheadBytes() int64 { return t.inner.MemoryOverheadBytes() }
+func (t *TrackedIndex) Name() string               { return t.inner.Name() }
+
+// ConcurrentSafe forwards the inner engine's concurrency marker: the
+// histograms themselves are lock-free, so the wrapper is exactly as
+// concurrent-safe as what it wraps.
+func (t *TrackedIndex) ConcurrentSafe() bool { return IsConcurrent(t.inner) }
+
+// BulkLoad forwards to the inner engine's native bulk path (or the
+// shared fallback), timed under OpMultiSet as one sample — the load is
+// one logical operation, not len(keys) of them.
+func (t *TrackedIndex) BulkLoad(keys [][]byte, vals []uint64) (int, error) {
+	start := time.Now()
+	added, err := BulkLoad(t.inner, keys, vals)
+	t.hists[OpMultiSet].RecordDuration(int64(time.Since(start)))
+	return added, err
+}
+
+type trackedCursor struct {
+	Cursor
+	hist *metrics.Histogram
+}
+
+func (c *trackedCursor) Seek(start []byte) bool {
+	begin := time.Now()
+	ok := c.Cursor.Seek(start)
+	c.hist.RecordDuration(int64(time.Since(begin)))
+	return ok
+}

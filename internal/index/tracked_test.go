@@ -1,0 +1,100 @@
+package index_test
+
+import (
+	"testing"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/index"
+)
+
+// TestTrackedPassThrough: the wrapper must be behaviorally transparent —
+// every op forwards to the inner engine — while each call lands exactly
+// one sample in its op's histogram.
+func TestTrackedPassThrough(t *testing.T) {
+	tr := index.Tracked(btree.New())
+
+	if added, err := tr.Set([]byte("a"), 1); err != nil || !added {
+		t.Fatalf("Set = %v, %v", added, err)
+	}
+	if v, ok := tr.Get([]byte("a")); !ok || v != 1 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	keys := [][]byte{[]byte("b"), []byte("c")}
+	if added := tr.MultiSet(keys, []uint64{2, 3}, nil); added != 2 {
+		t.Fatalf("MultiSet added %d", added)
+	}
+	vals := make([]uint64, 2)
+	found := make([]bool, 2)
+	tr.MultiGet(keys, vals, found)
+	if !found[0] || !found[1] || vals[0] != 2 || vals[1] != 3 {
+		t.Fatalf("MultiGet = %v, %v", vals, found)
+	}
+	if n := tr.Scan(nil, 10, func([]byte, uint64) bool { return true }); n != 3 {
+		t.Fatalf("Scan visited %d", n)
+	}
+	c := tr.NewCursor()
+	if !c.Seek(nil) || string(c.Key()) != "a" {
+		t.Fatalf("cursor Seek landed on %q", c.Key())
+	}
+	c.Close()
+	if !tr.Delete([]byte("a")) {
+		t.Fatal("Delete missed")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Name() != btree.New().Name() {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+
+	wantCounts := map[index.Op]uint64{
+		index.OpSet: 1, index.OpGet: 1, index.OpMultiSet: 1, index.OpMultiGet: 1,
+		index.OpScan: 1, index.OpCursor: 1, index.OpDelete: 1,
+	}
+	var total uint64
+	for op, want := range wantCounts {
+		if got := tr.OpHist(op).Count(); got != want {
+			t.Errorf("op %v recorded %d samples, want %d", op, got, want)
+		}
+		total += want
+	}
+	if got := tr.TotalOps(); got != total {
+		t.Errorf("TotalOps = %d, want %d", got, total)
+	}
+	if got := tr.Snapshot().Count(); got != total {
+		t.Errorf("merged snapshot count = %d, want %d", got, total)
+	}
+	tr.Reset()
+	if got := tr.TotalOps(); got != 0 {
+		t.Errorf("TotalOps after reset = %d", got)
+	}
+}
+
+// TestTrackedForwardsCapabilities: concurrency marker and bulk load must
+// shine through the wrapper, and re-wrapping must be a no-op.
+func TestTrackedForwardsCapabilities(t *testing.T) {
+	if index.IsConcurrent(index.Tracked(btree.New())) {
+		t.Fatal("Tracked(STX) should not report concurrent")
+	}
+	if !index.IsConcurrent(index.Tracked(art.New())) {
+		t.Fatal("Tracked(ARTOLC) should report concurrent")
+	}
+	tr := index.Tracked(btree.New())
+	if again := index.Tracked(tr); again != tr {
+		t.Fatal("re-wrapping allocated a second tracker")
+	}
+	if tr.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+	keys := [][]byte{[]byte("x"), []byte("y")}
+	if added, err := index.BulkLoad(tr, keys, []uint64{7, 8}); err != nil || added != 2 {
+		t.Fatalf("BulkLoad through wrapper = %d, %v", added, err)
+	}
+	if v, ok := tr.Get([]byte("y")); !ok || v != 8 {
+		t.Fatalf("value after bulk load = %d, %v", v, ok)
+	}
+	if got := tr.OpHist(index.OpMultiSet).Count(); got != 1 {
+		t.Fatalf("bulk load recorded %d MultiSet samples, want 1", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics provides the low-overhead latency instrumentation used
+// by the bench figures, the index.Tracked wrapper, and the mini-Redis
+// INFO commandstats / LATENCY surfaces.
+//
+// The core type is Histogram: a log-bucketed (HDR-style) histogram with
+// fixed memory, lock-free concurrent recording (per-goroutine shards of
+// atomic counters, merged atomically at snapshot time), and bounded
+// relative error. Values below 16 are bucketed exactly; above that each
+// power-of-two octave splits into 16 sub-buckets, so any recorded value
+// is off by at most 1/16 ≈ 6.25% (half a bucket ≈ 3.2% for the reported
+// representative). The whole uint64 range is covered — for latencies
+// that means sub-µs through hours in ~7.7 KiB of counters per shard —
+// and snapshots of different histograms merge bucket-wise, which is what
+// lets per-op and per-shard views roll up into one distribution.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	// subBits sub-bucket bits per octave: 16 linear sub-buckets, which
+	// bounds relative bucketing error at 1/16.
+	subBits = 4
+	subPer  = 1 << subBits // 16
+
+	// Values < 2^subBits get exact buckets [0..15]; octaves subBits..63
+	// get subPer buckets each.
+	numBuckets = subPer + (64-subBits)*subPer // 976
+
+	shardBits = 2
+	numShards = 1 << shardBits // 4
+)
+
+// shard is one goroutine-affine slab of counters. The pad keeps hot
+// shards on separate cache lines.
+type shard struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	_      [64]byte
+}
+
+// Histogram records uint64 samples (by convention nanoseconds for
+// durations, raw counts for sizes). The zero value is not usable; call
+// New.
+type Histogram struct {
+	shards [numShards]*shard
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	h := &Histogram{}
+	for i := range h.shards {
+		h.shards[i] = &shard{}
+	}
+	return h
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subPer {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // e >= subBits
+	sub := int((v >> uint(e-subBits)) & (subPer - 1))
+	return (e-subBits+1)*subPer + sub
+}
+
+// bucketBounds returns the inclusive lower bound and the width of bucket i.
+func bucketBounds(i int) (lo, width uint64) {
+	if i < subPer {
+		return uint64(i), 1
+	}
+	oct := i/subPer - 1 + subBits // octave exponent e
+	sub := uint64(i % subPer)
+	base := uint64(1) << uint(oct)
+	width = base / subPer
+	return base + sub*width, width
+}
+
+// shardHint picks a shard from the current goroutine's stack address.
+// Stacks of live goroutines occupy disjoint address ranges, so
+// concurrent recorders tend to land on different shards; a goroutine
+// whose stack moves simply switches shards, which is harmless. The
+// multiplicative hash spreads both the stack base and the call depth.
+func shardHint() int {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return int((uint64(p) * 0x9E3779B97F4A7C15) >> (64 - shardBits))
+}
+
+// Record adds one sample. Safe for concurrent use; the fast path is two
+// atomic adds and (rarely) a CAS to advance the shard max.
+func (h *Histogram) Record(v uint64) {
+	s := h.shards[shardHint()]
+	s.counts[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+	for {
+		m := s.max.Load()
+		if v <= m || s.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration records a duration given in nanoseconds (negative
+// values clamp to zero).
+func (h *Histogram) RecordDuration(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Record(uint64(ns))
+}
+
+// Count returns the number of recorded samples. It walks every shard's
+// buckets, so it is cheap enough for periodic sampling but not for
+// per-op hot paths.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for _, s := range h.shards {
+		for i := range s.counts {
+			n += s.counts[i].Load()
+		}
+	}
+	return n
+}
+
+// Reset zeroes all counters. Concurrent Records may survive into the
+// next epoch; Reset is for test/administrative use (LATENCY RESET), not
+// for synchronizing with recorders.
+func (h *Histogram) Reset() {
+	for _, s := range h.shards {
+		for i := range s.counts {
+			s.counts[i].Store(0)
+		}
+		s.sum.Store(0)
+		s.max.Store(0)
+	}
+}
+
+// Snapshot is a merged, immutable view of one or more histograms.
+type Snapshot struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Snapshot merges all shards into a point-in-time view. Concurrent
+// recording keeps going; the snapshot is internally consistent enough
+// for reporting (each counter is read once, atomically).
+func (h *Histogram) Snapshot() Snapshot {
+	var sn Snapshot
+	for _, s := range h.shards {
+		for i := range s.counts {
+			c := s.counts[i].Load()
+			sn.counts[i] += c
+			sn.total += c
+		}
+		sn.sum += s.sum.Load()
+		if m := s.max.Load(); m > sn.max {
+			sn.max = m
+		}
+	}
+	return sn
+}
+
+// Merge folds other into s.
+func (s *Snapshot) Merge(other Snapshot) {
+	for i := range s.counts {
+		s.counts[i] += other.counts[i]
+	}
+	s.total += other.total
+	s.sum += other.sum
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Count returns the number of samples in the snapshot.
+func (s Snapshot) Count() uint64 { return s.total }
+
+// Sum returns the sum of all recorded values (e.g. total nanoseconds).
+func (s Snapshot) Sum() uint64 { return s.sum }
+
+// Max returns the exact maximum recorded value.
+func (s Snapshot) Max() uint64 { return s.max }
+
+// Mean returns the arithmetic mean of recorded values.
+func (s Snapshot) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.total)
+}
+
+// valueAtRank returns the representative value (bucket midpoint) of the
+// sample with zero-based rank k in sorted order.
+func (s Snapshot) valueAtRank(k uint64) uint64 {
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum > k {
+			lo, w := bucketBounds(i)
+			v := lo + w/2
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by the nearest-rank rule.
+// An empty snapshot returns 0; Quantile(1) returns the exact maximum.
+func (s Snapshot) Quantile(q float64) uint64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(s.total))
+	if rank >= s.total {
+		rank = s.total - 1
+	}
+	return s.valueAtRank(rank)
+}
+
+// Buckets calls fn for every non-empty bucket with the bucket's upper
+// bound (inclusive representative range end) and count, in ascending
+// order. Used to serialize compact histogram dumps (LATENCY HISTOGRAM).
+func (s Snapshot) Buckets(fn func(upper uint64, count uint64)) {
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		lo, w := bucketBounds(i)
+		fn(lo+w-1, c)
+	}
+}

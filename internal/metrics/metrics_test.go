@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile applies the same nearest-rank rule the histogram uses to
+// the exact sorted samples.
+func exactQuantile(sorted []uint64, q float64) uint64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// relErr is |got-want|/want, treating want==0 specially.
+func relErr(got, want uint64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return float64(got)
+	}
+	d := float64(got) - float64(want)
+	return math.Abs(d) / float64(want)
+}
+
+func distributions(rng *rand.Rand, n int) map[string][]uint64 {
+	uniform := make([]uint64, n)
+	for i := range uniform {
+		uniform[i] = 1_000 + uint64(rng.Int63n(9_000_000)) // 1µs..9ms in ns
+	}
+	pareto := make([]uint64, n)
+	for i := range pareto {
+		// Pareto with alpha=1.2, scale 2µs: heavy tail out to seconds.
+		u := rng.Float64()
+		v := 2_000 * math.Pow(1-u, -1/1.2)
+		if v > 10e9 {
+			v = 10e9
+		}
+		pareto[i] = uint64(v)
+	}
+	bimodal := make([]uint64, n)
+	for i := range bimodal {
+		if rng.Intn(10) == 0 {
+			bimodal[i] = 5_000_000 + uint64(rng.Int63n(1_000_000)) // slow mode ~5ms
+		} else {
+			bimodal[i] = 800 + uint64(rng.Int63n(400)) // fast mode ~1µs
+		}
+	}
+	return map[string][]uint64{"uniform": uniform, "pareto": pareto, "bimodal": bimodal}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, samples := range distributions(rng, 50_000) {
+		h := New()
+		for _, v := range samples {
+			h.Record(v)
+		}
+		sorted := append([]uint64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		sn := h.Snapshot()
+		if sn.Count() != uint64(len(samples)) {
+			t.Fatalf("%s: count = %d, want %d", name, sn.Count(), len(samples))
+		}
+		if sn.Max() != sorted[len(sorted)-1] {
+			t.Errorf("%s: max = %d, want %d", name, sn.Max(), sorted[len(sorted)-1])
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+			got := sn.Quantile(q)
+			want := exactQuantile(sorted, q)
+			// Bucket width is 1/16 of the value's octave; the midpoint
+			// representative is within half a bucket, but rank ties at
+			// bucket edges can land one bucket over — allow 7%.
+			if e := relErr(got, want); e > 0.07 {
+				t.Errorf("%s: q%.3f = %d, want %d (rel err %.3f)", name, q, got, want, e)
+			}
+		}
+	}
+}
+
+func TestQuantileSmallAndEmpty(t *testing.T) {
+	h := New()
+	sn := h.Snapshot()
+	if sn.Quantile(0.99) != 0 || sn.Count() != 0 || sn.Max() != 0 {
+		t.Fatalf("empty snapshot should be all-zero, got q99=%d count=%d max=%d",
+			sn.Quantile(0.99), sn.Count(), sn.Max())
+	}
+	lo, hi := sn.QuantileCI(0.99, 100, 1)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty CI = [%d,%d], want [0,0]", lo, hi)
+	}
+	// Small exact values bucket exactly.
+	for _, v := range []uint64{0, 1, 2, 3, 15} {
+		h.Record(v)
+	}
+	sn = h.Snapshot()
+	if got := sn.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := sn.Quantile(1); got != 15 {
+		t.Errorf("q1 = %d, want 15", got)
+	}
+	if got := sn.Mean(); math.Abs(got-4.2) > 0.001 {
+		t.Errorf("mean = %v, want 4.2", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h1, h2, all := New(), New(), New()
+	for i := 0; i < 20_000; i++ {
+		v := 1_000 + uint64(rng.Int63n(1_000_000))
+		all.Record(v)
+		if i%2 == 0 {
+			h1.Record(v)
+		} else {
+			h2.Record(v)
+		}
+	}
+	merged := h1.Snapshot()
+	merged.Merge(h2.Snapshot())
+	whole := all.Snapshot()
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() || merged.Max() != whole.Max() {
+		t.Fatalf("merged (count=%d sum=%d max=%d) != whole (count=%d sum=%d max=%d)",
+			merged.Count(), merged.Sum(), merged.Max(), whole.Count(), whole.Sum(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.3f: merged %d != whole %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestQuantileCICoversPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := New()
+	for i := 0; i < 30_000; i++ {
+		h.Record(1_000 + uint64(rng.Int63n(2_000_000)))
+	}
+	sn := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		lo, hi := sn.QuantileCI(q, 300, 99)
+		point := sn.Quantile(q)
+		if lo > hi {
+			t.Fatalf("q%.3f: lo %d > hi %d", q, lo, hi)
+		}
+		if point < lo || point > hi {
+			t.Errorf("q%.3f: point %d outside CI [%d,%d]", q, point, lo, hi)
+		}
+		// The interval should be narrow relative to the estimate on a
+		// well-populated quantile.
+		if q <= 0.99 && float64(hi-lo) > 0.5*float64(point) {
+			t.Errorf("q%.3f: CI [%d,%d] implausibly wide vs point %d", q, lo, hi, point)
+		}
+		// Determinism: same seed, same interval.
+		lo2, hi2 := sn.QuantileCI(q, 300, 99)
+		if lo2 != lo || hi2 != hi {
+			t.Errorf("q%.3f: CI not deterministic for fixed seed", q)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	h := New()
+	const goroutines = 8
+	const perG = 20_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(1_000 + uint64(rng.Int63n(100_000)))
+				if i%1024 == 0 {
+					_ = h.Snapshot() // reader racing writers
+					_ = h.Count()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	h.Reset()
+	if got := h.Snapshot().Count(); got != 0 {
+		t.Fatalf("count after reset = %d, want 0", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if got := CV([]float64{1, 2}); got != -1 {
+		t.Errorf("CV of 2 samples = %v, want -1", got)
+	}
+	if got := CV([]float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	got := CV([]float64{100, 110, 90, 100})
+	if got < 0.05 || got > 0.1 {
+		t.Errorf("CV = %v, want ~0.07", got)
+	}
+	if got := CV([]float64{0, 0, 0, 0}); got != -1 {
+		t.Errorf("CV of zero mean = %v, want -1", got)
+	}
+}
+
+func TestBucketsRoundTrip(t *testing.T) {
+	h := New()
+	vals := []uint64{1, 17, 1_000, 1_000_000, 123_456_789}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	sn := h.Snapshot()
+	var total uint64
+	sn.Buckets(func(upper, count uint64) {
+		total += count
+		if upper == 0 && count > 0 {
+			// bucket 0 has upper bound 0, which is fine for value 0 only
+			t.Errorf("non-empty bucket with upper bound 0")
+		}
+	})
+	if total != uint64(len(vals)) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, len(vals))
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.RunParallel(func(pb *testing.PB) {
+		v := uint64(1000)
+		for pb.Next() {
+			h.Record(v)
+			v = v*1664525 + 1013904223
+		}
+	})
+}

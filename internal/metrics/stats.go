@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// QuantileCI returns a bootstrap percentile interval for the q-quantile
+// of the snapshot, at ~95% confidence. It uses the binomial-rank trick:
+// the q-quantile of a resample of n i.i.d. draws is the order statistic
+// at rank k ~ Binomial(n, q), so each bootstrap replicate needs one
+// binomial draw and one rank lookup instead of an O(n) resample. The
+// seed makes reports reproducible; resamples ≤ 0 defaults to 200.
+func (s Snapshot) QuantileCI(q float64, resamples int, seed int64) (lo, hi uint64) {
+	n := s.total
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		v := s.valueAtRank(0)
+		return v, v
+	}
+	if resamples <= 0 {
+		resamples = 200
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reps := make([]uint64, resamples)
+	for i := range reps {
+		k := binomial(rng, n, q)
+		if k >= n {
+			k = n - 1
+		}
+		reps[i] = s.valueAtRank(k)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	loIdx := int(0.025 * float64(resamples))
+	hiIdx := int(0.975 * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return reps[loIdx], reps[hiIdx]
+}
+
+// binomial draws k ~ Binomial(n, p). For well-populated tails it uses
+// the normal approximation; otherwise an exact Bernoulli loop (only
+// reached for small n, so the O(n) cost is bounded).
+func binomial(rng *rand.Rand, n uint64, p float64) uint64 {
+	nf := float64(n)
+	if v := nf * p * (1 - p); v >= 10 || n > 1<<20 {
+		k := math.Round(nf*p + rng.NormFloat64()*math.Sqrt(v))
+		if k < 0 {
+			return 0
+		}
+		if k > nf {
+			return n
+		}
+		return uint64(k)
+	}
+	var k uint64
+	for i := uint64(0); i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// CV returns the coefficient of variation (population stddev / mean) of
+// the samples, or -1 when it cannot be computed (fewer than 4 samples,
+// or a non-positive mean). It is the throughput-stability check: slice
+// a run into timeslices, count ops per slice, and a high CV means the
+// run was noisy and its tails should not be trusted.
+func CV(samples []float64) float64 {
+	if len(samples) < 4 {
+		return -1
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(len(samples))
+	if mean <= 0 {
+		return -1
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(samples))) / mean
+}

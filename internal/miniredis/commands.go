@@ -11,15 +11,29 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/persist"
 	"repro/internal/resp"
 )
 
-// dispatchOne executes a single command. quiesced says the caller holds
-// this server's quiesce lock (serial mode's cmdMu, or striped-exec's
+// dispatchOne executes a single command and folds it into the server's
+// observability state (stats.go): one clock pair around the handler, the
+// family's call/error counters, and — for commands over the slowlog
+// threshold — a slowlog entry. quiesced says the caller holds this
+// server's quiesce lock (serial mode's cmdMu, or striped-exec's
 // all-stripe barrier), so SAVE must not retake it.
 func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte, cs *connState, quiesced bool) {
+	st := s.stats.statFor(cmd)
+	errsBefore := w.ErrorsWritten()
+	start := time.Now()
+	s.runCommand(w, cmd, cs, quiesced)
+	s.observeCmd(st, w, cmd, errsBefore, start)
+}
+
+// runCommand executes a single command's handler (see dispatchOne for the
+// locking contract).
+func (s *Server) runCommand(w *resp.Writer, cmd [][]byte, cs *connState, quiesced bool) {
 	if len(cmd) == 0 {
 		w.WriteError("empty command")
 		return
@@ -173,6 +187,12 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte, cs *connState, quiesc
 			w.WriteError(ErrNoPersistence.Error())
 			return
 		}
+		if s.unsafeSnapshots {
+			// BGSave() below would just report false (as if a save were in
+			// flight); the client deserves the real reason.
+			w.WriteError(ErrUnsafeSnapshot.Error())
+			return
+		}
 		if s.BGSave() {
 			w.WriteSimple("Background saving started")
 		} else {
@@ -184,6 +204,10 @@ func (s *Server) dispatchOne(w *resp.Writer, cmd [][]byte, cs *connState, quiesc
 		s.cmdReplconf(w, cs, cmd)
 	case "INFO":
 		s.cmdInfo(w, cmd)
+	case "LATENCY":
+		s.cmdLatency(w, cmd)
+	case "SLOWLOG":
+		s.cmdSlowlog(w, cmd)
 	default:
 		w.WriteError(fmt.Sprintf("unknown command '%s'", cmd[0]))
 	}
@@ -196,8 +220,13 @@ func isZScore(cmd [][]byte) bool {
 
 // zscoreMulti answers a run of same-set ZSCOREs with one MultiGet,
 // returning the scores for the caller to write (the striped executor
-// interleaves reply-boundary marks between them; see runLane).
+// interleaves reply-boundary marks between them; see runLane). The run is
+// observed here — n zscore calls, one latency sample covering the batch —
+// so both collapse paths (execSeq and runLane) stay instrumented without
+// each duplicating the accounting. Reply encoding is outside the sample;
+// the MultiGet dominates.
 func (s *Server) zscoreMulti(cmds [][][]byte) ([]uint64, []bool) {
+	start := time.Now()
 	members := make([][]byte, len(cmds))
 	for i, c := range cmds {
 		members[i] = c[2]
@@ -205,6 +234,7 @@ func (s *Server) zscoreMulti(cmds [][][]byte) ([]uint64, []bool) {
 	vals := make([]uint64, len(members))
 	found := make([]bool, len(members))
 	s.set(string(cmds[0][1])).MultiGet(members, vals, found)
+	s.observeZScoreRun(cmds, start)
 	return vals, found
 }
 

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"time"
 
 	"repro/internal/persist"
 	"repro/internal/resp"
@@ -30,6 +31,7 @@ const connBufSize = 16 << 10
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	defer s.conns.Add(-1)
 	r := resp.NewReaderSize(conn, connBufSize)
 	w := resp.NewWriterSize(conn, connBufSize)
 	cs := &connState{}
@@ -105,7 +107,15 @@ func (s *Server) dispatch(w *resp.Writer, batch [][][]byte, cs *connState) {
 			s.exec.run(w, batch[i:j], cs)
 		}
 		if j < len(batch) {
+			// WAIT never flows through dispatchOne (it parks, so it runs
+			// bare here), so it is observed at its own dispatch site. Its
+			// latency sample deliberately includes the parks — the wait IS
+			// the command.
+			st := s.stats.cmds["wait"]
+			errsBefore := w.ErrorsWritten()
+			start := time.Now()
 			s.cmdWait(w, cs, batch[j])
+			s.observeCmd(st, w, batch[j], errsBefore, start)
 			j++
 		}
 		i = j

@@ -237,7 +237,15 @@ type Server struct {
 	wg       sync.WaitGroup
 	mode     ExecMode // command execution strategy; see executor.go
 	exec     executor
-	cmdMu    sync.Mutex // ExecSerial's one-at-a-time command loop lock
+	stats    *serverStats // command observability (stats.go): counters, histograms, slowlog
+	cmdMu    sync.Mutex   // ExecSerial's one-at-a-time command loop lock
+
+	// maxConns caps simultaneous client connections; 0 = unlimited. Set
+	// via SetMaxConns before Listen. Connections over the cap are refused
+	// with -ERR and counted in rejected (INFO clients).
+	maxConns int
+	conns    atomic.Int64
+	rejected atomic.Int64
 	// execMus (ExecStripedExec only): one executor lock per keyspace
 	// stripe. A per-stripe lane holds exactly its own; the cross-stripe
 	// barrier takes all of them in ascending index order. Rank 15 in the
@@ -261,6 +269,12 @@ type Server struct {
 	// barrier, always taken BEFORE saveMu; dispatch already holds it when
 	// a SAVE command calls save, so the order is fixed everywhere).
 	quiesceSaves bool
+	// unsafeSnapshots: striped-conn execution over a non-concurrent engine
+	// has NO safe snapshot path — there is no execution lock to quiesce
+	// with, so a snapshot cursor would race live writers. SAVE, BGSAVE and
+	// replica full syncs all refuse with ErrUnsafeSnapshot instead of
+	// corrupting the snapshot (or crashing the engine) silently.
+	unsafeSnapshots bool
 	// writeMus (persistent concurrent servers only) order apply+log per
 	// keyspace stripe; see lockWrite.
 	writeMus  []sync.Mutex
@@ -307,6 +321,7 @@ func NewServerExec(factory EngineFactory, capacityHint int, mode ExecMode) *Serv
 		capacity: capacityHint,
 		ks:       newKeyspace(max(8, runtime.GOMAXPROCS(0))),
 		mode:     mode,
+		stats:    newServerStats(),
 	}
 	switch mode {
 	case ExecStripedConn:
@@ -329,6 +344,13 @@ func (s *Server) Stripes() int { return len(s.ks.stripes) }
 
 // ErrNoPersistence reports a SAVE/BGSAVE against a memory-only server.
 var ErrNoPersistence = errors.New("miniredis: persistence not enabled")
+
+// ErrUnsafeSnapshot reports a snapshot request (SAVE, BGSAVE, a replica's
+// full sync) on a server with no safe snapshot path: striped-conn
+// execution has no quiesce lock, so over a non-concurrent engine the
+// snapshot cursors would race live writers. Pick -exec serial or
+// striped-exec, or a concurrent-safe engine.
+var ErrUnsafeSnapshot = errors.New("miniredis: no safe snapshot path under striped-conn execution with a non-concurrent engine (use -exec serial or striped-exec)")
 
 // EnablePersistence makes the server durable: it recovers dir's newest
 // valid snapshot plus WAL tail into the keyspace (each set bulk-loaded, so
@@ -416,9 +438,12 @@ func (s *Server) EnablePersistenceWithOptions(dir string, opts PersistOptions) (
 	// throwaway instance says whether snapshots may run against live
 	// writers or must quiesce execution first. Serial and striped-exec
 	// both have a quiesce lock to take (cmdMu, the all-stripe barrier);
-	// striped-conn has none, so its saves always run live — its engines
-	// must be concurrent-safe to begin with.
-	s.quiesceSaves = s.mode != ExecStripedConn && !index.IsConcurrent(s.factory(1))
+	// striped-conn has none — over a concurrent-safe engine its saves run
+	// live, and over a non-concurrent engine there is no safe snapshot
+	// path at all (unsafeSnapshots: SAVE/BGSAVE/full syncs refuse).
+	concurrent := index.IsConcurrent(s.factory(1))
+	s.quiesceSaves = s.mode != ExecStripedConn && !concurrent
+	s.unsafeSnapshots = s.mode == ExecStripedConn && !concurrent
 	if s.mode != ExecSerial {
 		// Concurrent command execution needs explicit write ordering: the
 		// WAL replays in LSN order, so two racing writes to the same set
@@ -509,6 +534,9 @@ func (s *Server) save(quiesced bool) error {
 	if s.wal == nil {
 		return ErrNoPersistence
 	}
+	if s.unsafeSnapshots {
+		return ErrUnsafeSnapshot
+	}
 	if s.quiesceSaves && !quiesced {
 		// A non-concurrent-safe engine cannot be iterated while writers
 		// mutate it: quiesce execution for the duration (Redis without
@@ -550,6 +578,11 @@ func (s *Server) cutSnapshot() (uint64, string, error) {
 // file: bulk preloads bypass the WAL, so only a snapshot cut now is
 // guaranteed to contain them.
 func (s *Server) snapshotForSync() (uint64, string, error) {
+	if s.unsafeSnapshots {
+		// The manager turns this into a clean "-ERR full sync snapshot: ..."
+		// on the PSYNC connection instead of shipping a corrupt stream.
+		return 0, "", ErrUnsafeSnapshot
+	}
 	if s.quiesceSaves {
 		release := s.quiesce()
 		defer release()
@@ -561,7 +594,7 @@ func (s *Server) snapshotForSync() (uint64, string, error) {
 // It reports whether a new save was started; a failure is retrievable via
 // LastBGSaveError. Close waits for an in-flight background save.
 func (s *Server) BGSave() bool {
-	if s.wal == nil || !s.saving.CompareAndSwap(false, true) {
+	if s.wal == nil || s.unsafeSnapshots || !s.saving.CompareAndSwap(false, true) {
 		return false
 	}
 	s.bgWg.Add(1)
@@ -645,6 +678,12 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// SetMaxConns caps simultaneous client connections (0 = unlimited).
+// Connections accepted over the cap get "-ERR max number of clients
+// reached" and are closed; INFO clients counts the rejections. Must be
+// called before Listen.
+func (s *Server) SetMaxConns(n int) { s.maxConns = n }
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -652,6 +691,16 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if s.maxConns > 0 && s.conns.Load() >= int64(s.maxConns) {
+			// Redis's over-maxclients behavior: a best-effort error reply,
+			// then hang up. The write error is moot — the connection is
+			// being refused either way.
+			s.rejected.Add(1)
+			conn.Write([]byte("-ERR max number of clients reached\r\n"))
+			conn.Close()
+			continue
+		}
+		s.conns.Add(1)
 		s.wg.Add(1)
 		go s.serve(conn)
 	}

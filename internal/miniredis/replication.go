@@ -40,10 +40,10 @@ func (s *Server) rejectReadonly(w *resp.Writer) bool {
 	if !s.isReplica() {
 		return false
 	}
-	// The write error is sticky in the bufio layer: serve's checked Flush
-	// after the dispatch surfaces it and drops the connection, so no ack
-	// is ever fabricated past a failed reply write.
-	w.WriteRaw([]byte("-READONLY You can't write against a read only replica.\r\n")) //ctvet:ignore sticky bufio error; surfaced by serve's checked Flush
+	// A failed reply write is sticky in the bufio layer: serve's checked
+	// Flush after the dispatch surfaces it and drops the connection, so no
+	// ack is ever fabricated past a failed reply write.
+	w.WriteErrorCode("READONLY You can't write against a read only replica.")
 	return true
 }
 
@@ -225,27 +225,56 @@ func (s *Server) cmdWait(w *resp.Writer, cs *connState, cmd [][]byte) {
 	w.WriteInt(int64(got))
 }
 
-// cmdInfo handles INFO [section]; the replication and persistence sections
-// carry real content. Fields follow Redis's spelling where one exists so
+// cmdInfo handles INFO [section]. Replication, persistence and clients
+// make up the default reply; commandstats and latencystats — Redis's
+// optional sections — come only when named, since their size grows with
+// the command set. Fields follow Redis's spelling where one exists so
 // existing tooling parses them.
 func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 	if len(cmd) > 2 {
 		w.WriteError("wrong number of arguments for INFO")
 		return
 	}
-	wantRepl := len(cmd) < 2 || strings.EqualFold(string(cmd[1]), "replication")
-	wantPersist := len(cmd) < 2 || strings.EqualFold(string(cmd[1]), "persistence")
-	if !wantRepl && !wantPersist {
-		w.WriteBulk([]byte{})
-		return
+	section := ""
+	if len(cmd) == 2 {
+		section = strings.ToLower(string(cmd[1]))
 	}
-	if !wantRepl {
-		var b strings.Builder
-		s.appendPersistenceInfo(&b)
-		w.WriteBulk([]byte(b.String()))
-		return
+	want := func(name string) bool {
+		if section == "" {
+			return name == "replication" || name == "persistence" || name == "clients"
+		}
+		return section == name
 	}
 	var b strings.Builder
+	sep := func() {
+		if b.Len() > 0 {
+			b.WriteString("\r\n")
+		}
+	}
+	if want("replication") {
+		s.appendReplicationInfo(&b)
+	}
+	if want("persistence") {
+		sep()
+		s.appendPersistenceInfo(&b)
+	}
+	if want("clients") {
+		sep()
+		s.appendClientsInfo(&b)
+	}
+	if want("commandstats") {
+		sep()
+		s.appendCommandStats(&b)
+	}
+	if want("latencystats") {
+		sep()
+		s.appendLatencyStats(&b)
+	}
+	w.WriteBulk([]byte(b.String()))
+}
+
+// appendReplicationInfo writes the "# Replication" INFO section.
+func (s *Server) appendReplicationInfo(b *strings.Builder) {
 	b.WriteString("# Replication\r\n")
 	if sess := s.ReplicaSession(); sess != nil {
 		host, port, _ := net.SplitHostPort(sess.MasterAddr())
@@ -253,7 +282,7 @@ func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 		if sess.LinkUp() {
 			status = "up"
 		}
-		fmt.Fprintf(&b, "role:slave\r\nmaster_host:%s\r\nmaster_port:%s\r\nmaster_link_status:%s\r\nslave_repl_offset:%d\r\n",
+		fmt.Fprintf(b, "role:slave\r\nmaster_host:%s\r\nmaster_port:%s\r\nmaster_link_status:%s\r\nslave_repl_offset:%d\r\n",
 			host, port, status, sess.Applied())
 	} else {
 		b.WriteString("role:master\r\n")
@@ -264,7 +293,7 @@ func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 			reps = s.repl.Replicas()
 			sort.Slice(reps, func(i, j int) bool { return reps[i].Addr < reps[j].Addr })
 		}
-		fmt.Fprintf(&b, "connected_slaves:%d\r\nmaster_repl_offset:%d\r\n", len(reps), last)
+		fmt.Fprintf(b, "connected_slaves:%d\r\nmaster_repl_offset:%d\r\n", len(reps), last)
 		for i, r := range reps {
 			host, port, err := net.SplitHostPort(r.Addr)
 			if err != nil {
@@ -274,14 +303,9 @@ func (s *Server) cmdInfo(w *resp.Writer, cmd [][]byte) {
 			if lag < 0 {
 				lag = 0
 			}
-			fmt.Fprintf(&b, "slave%d:ip=%s,port=%s,ack_offset=%d,lag=%d\r\n", i, host, port, r.Acked, lag)
+			fmt.Fprintf(b, "slave%d:ip=%s,port=%s,ack_offset=%d,lag=%d\r\n", i, host, port, r.Acked, lag)
 		}
 	}
-	if wantPersist {
-		b.WriteString("\r\n")
-		s.appendPersistenceInfo(&b)
-	}
-	w.WriteBulk([]byte(b.String()))
 }
 
 // appendPersistenceInfo writes the "# Persistence" INFO section: the fsync
@@ -297,6 +321,7 @@ func (s *Server) appendPersistenceInfo(b *strings.Builder) {
 	last, durable := s.wal.LSN(), s.wal.DurableLSN()
 	fmt.Fprintf(b, "aof_enabled:1\r\nappendfsync:%s\r\naof_last_lsn:%d\r\naof_durable_lsn:%d\r\naof_pending_records:%d\r\naof_appended_bytes:%d\r\n",
 		s.fsyncPol, last, durable, last-durable, s.wal.AppendedBytes())
+	s.appendWALMetricsInfo(b)
 }
 
 // servePSync hands a connection over to the replication manager for the

@@ -114,6 +114,8 @@ type WAL struct {
 	// copied if retained.
 	onAppend func(op Op, lsn uint64, frame []byte)
 
+	met WALMetrics // always-on durability histograms (see walmetrics.go)
+
 	stop chan struct{} // everysec flusher shutdown
 	done chan struct{}
 
@@ -121,12 +123,19 @@ type WAL struct {
 	syncerDone chan struct{} // closed when the group syncer exits
 }
 
-// fsync pushes f to stable storage through the configured seam.
+// fsync pushes f to stable storage through the configured seam, recording
+// the duration — every fsync the WAL issues (policy syncs, rotations, the
+// final close) lands in the same histogram.
 func (w *WAL) fsync(f *os.File) error {
+	start := time.Now()
+	var err error
 	if w.opts.FsyncFn != nil {
-		return w.opts.FsyncFn(f)
+		err = w.opts.FsyncFn(f)
+	} else {
+		err = f.Sync()
 	}
-	return f.Sync()
+	w.met.Fsync.RecordDuration(int64(time.Since(start)))
+	return err
 }
 
 // OpenWAL opens (creating if needed) the WAL in dir for appending. An
@@ -144,7 +153,7 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, opts: opts, next: 1}
+	w := &WAL{dir: dir, opts: opts, next: 1, met: newWALMetrics()}
 	w.commitCond = sync.NewCond(&w.mu)
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -376,6 +385,12 @@ func (w *WAL) Commit(lsn uint64) error {
 	if lsn >= w.next {
 		return fmt.Errorf("persist: Commit(%d) past last assigned LSN %d", lsn, w.next-1)
 	}
+	if w.durable < lsn {
+		// Only waits are samples: a Commit the watermark already covers
+		// costs nothing and would drown the park distribution in zeros.
+		start := time.Now()
+		defer func() { w.met.CommitWait.RecordDuration(int64(time.Since(start))) }()
+	}
 	for w.durable < lsn {
 		if w.syncErr != nil {
 			return w.syncErr
@@ -537,6 +552,7 @@ func (w *WAL) groupSyncLoop() {
 			return
 		}
 		if target > w.durable {
+			w.met.BatchSize.Record(target - w.durable)
 			w.durable = target
 			w.commitCond.Broadcast()
 		}

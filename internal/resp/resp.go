@@ -304,6 +304,12 @@ func FrameSafe(err error) bool {
 // Writer encodes RESP values with buffering; call Flush after a pipeline.
 type Writer struct {
 	bw *bufio.Writer
+	// errs counts error replies encoded through WriteError/WriteErrorCode.
+	// A server observing per-command error counters reads it before and
+	// after a handler: the delta says whether that command errored without
+	// the handler having to report its outcome through a second channel.
+	// Plain (not atomic): a Writer is owned by one goroutine at a time.
+	errs uint64
 }
 
 // NewWriter wraps w with the default 64 KiB buffer.
@@ -340,7 +346,20 @@ func (w *Writer) WriteRaw(b []byte) error {
 func (w *Writer) WriteSimple(s string) { fmt.Fprintf(w.bw, "+%s\r\n", s) }
 
 // WriteError writes an -ERR reply.
-func (w *Writer) WriteError(s string) { fmt.Fprintf(w.bw, "-ERR %s\r\n", s) }
+func (w *Writer) WriteError(s string) {
+	w.errs++
+	fmt.Fprintf(w.bw, "-ERR %s\r\n", s)
+}
+
+// WriteErrorCode writes an error reply whose leading word is an explicit
+// error code (e.g. "READONLY ...", "NOPERM ..."), not the generic ERR.
+func (w *Writer) WriteErrorCode(s string) {
+	w.errs++
+	fmt.Fprintf(w.bw, "-%s\r\n", s)
+}
+
+// ErrorsWritten returns how many error replies this writer has encoded.
+func (w *Writer) ErrorsWritten() uint64 { return w.errs }
 
 // WriteInt writes an integer reply.
 func (w *Writer) WriteInt(v int64) { fmt.Fprintf(w.bw, ":%d\r\n", v) }

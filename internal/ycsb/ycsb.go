@@ -7,6 +7,7 @@ package ycsb
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/index"
 )
@@ -231,7 +232,7 @@ func (g *Generator) Run(ix index.Index, ops int) int {
 		}
 		done++
 	}
-	sinkVar += sink
+	sinkVar.Add(sink)
 	return done
 }
 
@@ -302,7 +303,7 @@ func (g *Generator) RunBatched(ix index.Index, ops, batch int) int {
 		done++
 	}
 	flush()
-	sinkVar += sink
+	sinkVar.Add(sink)
 	return done
 }
 
@@ -311,5 +312,6 @@ func (g *Generator) RunBatched(ix index.Index, ops, batch int) int {
 // accounting YCSB needs to validate insert mixes.
 func (g *Generator) NewKeys() int { return g.newKeys }
 
-// sinkVar defeats dead-code elimination of benchmark reads.
-var sinkVar uint64
+// sinkVar defeats dead-code elimination of benchmark reads. Atomic: the
+// bench harness runs one Generator per thread, and they all land here.
+var sinkVar atomic.Uint64
